@@ -1,0 +1,180 @@
+(* vscli — command-line driver for the view-synchrony simulator.
+
+   Subcommands:
+     experiment   regenerate the paper's tables (all or selected)
+     campaign     run a randomized fault campaign and check the properties
+     trace        run a campaign and dump the annotated event trace *)
+
+module Sim = Vs_sim.Sim
+module Trace = Vs_sim.Trace
+module Faults = Vs_harness.Faults
+module Oracle = Vs_harness.Oracle
+module Vc = Vs_harness.Vsync_cluster
+module Ec = Vs_harness.Evs_cluster
+open Cmdliner
+
+(* ---------- experiment ---------- *)
+
+let experiments =
+  [
+    ("e1", Vs_exp.Exp_modes.tables);
+    ("e2e3", Vs_exp.Exp_figures.tables);
+    ("e4", Vs_exp.Exp_join.tables);
+    ("e5", Vs_exp.Exp_classify.tables);
+    ("e6", Vs_exp.Exp_transfer.tables);
+    ("e7", Vs_exp.Exp_file.tables);
+    ("e8", Vs_exp.Exp_db.tables);
+    ("e9e10", Vs_exp.Exp_overhead.tables);
+  ]
+
+let experiment_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps (CI-sized).")
+  in
+  let names =
+    Arg.(
+      value
+      & pos_all (enum (List.map (fun (n, _) -> (n, n)) experiments)) []
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"Experiments to run (e1 e2e3 e4 e5 e6 e7 e8 e9e10); all by default.")
+  in
+  let run quick names =
+    let selected =
+      match names with
+      | [] -> experiments
+      | names -> List.filter (fun (n, _) -> List.mem n names) experiments
+    in
+    List.iter
+      (fun (name, tables) ->
+        Printf.printf "### %s\n\n%!" (String.uppercase_ascii name);
+        let t : ?quick:bool -> unit -> Vs_stats.Table.t list = tables in
+        List.iter Vs_stats.Table.print (t ~quick ()))
+      selected
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate the paper's evaluation tables.")
+    Term.(const run $ quick $ names)
+
+(* ---------- campaign ---------- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let nodes_arg =
+  Arg.(value & opt int 5 & info [ "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let duration_arg =
+  Arg.(
+    value & opt float 6.0
+    & info [ "duration" ] ~docv:"SECONDS" ~doc:"Fault-injection window.")
+
+let campaign_cmd =
+  let evs =
+    Arg.(
+      value & flag
+      & info [ "evs" ]
+          ~doc:"Run enriched view synchrony (checks Properties 6.1/6.3 too).")
+  in
+  let run seed nodes duration evs =
+    let seed64 = Int64.of_int seed in
+    let node_list = List.init nodes (fun i -> i) in
+    let script rng =
+      Faults.random_script rng ~nodes:node_list ~start:1.0 ~duration
+        ~mean_gap:0.5 ()
+    in
+    let rng = Vs_util.Rng.create (Int64.add seed64 999L) in
+    let errors, summary =
+      if evs then begin
+        let c = Ec.create ~seed:seed64 ~n:nodes () in
+        Ec.run_script c (script rng);
+        Ec.pump_traffic c ~start:0.5 ~until:(duration +. 0.5) ~mean_gap:0.03;
+        Ec.run c ~until:(duration +. 4.0);
+        ( Oracle.check_all (Ec.oracle c)
+          @ Ec.check_total_order c @ Ec.check_structure c,
+          Printf.sprintf
+            "deliveries=%d installs=%d distinct-views=%d e-view-changes=%d"
+            (Oracle.total_deliveries (Ec.oracle c))
+            (Oracle.total_installs (Ec.oracle c))
+            (Oracle.distinct_views (Ec.oracle c))
+            (Ec.eview_changes_total c) )
+      end
+      else begin
+        let c = Vc.create ~seed:seed64 ~n:nodes () in
+        Vc.run_script c (script rng);
+        Vc.pump_traffic c ~start:0.5 ~until:(duration +. 0.5) ~mean_gap:0.03;
+        Vc.run c ~until:(duration +. 4.0);
+        ( Oracle.check_all (Vc.oracle c),
+          Printf.sprintf "deliveries=%d installs=%d distinct-views=%d stable=%b"
+            (Oracle.total_deliveries (Vc.oracle c))
+            (Oracle.total_installs (Vc.oracle c))
+            (Oracle.distinct_views (Vc.oracle c))
+            (Vc.stable_view_reached c) )
+      end
+    in
+    Printf.printf "campaign: seed=%d nodes=%d duration=%.1fs %s\n" seed nodes
+      duration
+      (if evs then "(EVS)" else "(plain VS)");
+    Printf.printf "run: %s\n" summary;
+    if errors = [] then
+      print_endline "properties: all hold (agreement, uniqueness, integrity, order)"
+    else begin
+      Printf.printf "VIOLATIONS (%d):\n" (List.length errors);
+      List.iter (fun e -> print_endline ("  " ^ e)) errors;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a randomized fault campaign and check the view-synchrony \
+          properties against the oracle.")
+    Term.(const run $ seed_arg $ nodes_arg $ duration_arg $ evs)
+
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let components =
+    Arg.(
+      value
+      & opt (list string) [ "vsync"; "evs"; "faults"; "net" ]
+      & info [ "components" ] ~docv:"LIST"
+          ~doc:"Trace components to show (vsync, evs, mode, fd, net, faults).")
+  in
+  let limit =
+    Arg.(
+      value & opt int 200
+      & info [ "limit" ] ~docv:"N" ~doc:"Maximum entries printed.")
+  in
+  let run seed nodes duration components limit =
+    let seed64 = Int64.of_int seed in
+    let c = Ec.create ~seed:seed64 ~n:nodes () in
+    let rng = Vs_util.Rng.create (Int64.add seed64 999L) in
+    Ec.run_script c
+      (Faults.random_script rng
+         ~nodes:(List.init nodes (fun i -> i))
+         ~start:1.0 ~duration ~mean_gap:0.5 ());
+    Ec.run c ~until:(duration +. 3.0);
+    let entries =
+      List.filter
+        (fun e -> List.mem e.Trace.component components)
+        (Trace.entries (Sim.trace (Ec.sim c)))
+    in
+    List.iteri
+      (fun i e ->
+        if i < limit then Format.printf "%a@." Trace.pp_entry e)
+      entries;
+    if List.length entries > limit then
+      Printf.printf "... (%d more entries)\n" (List.length entries - limit)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run an EVS campaign and dump the event trace.")
+    Term.(const run $ seed_arg $ nodes_arg $ duration_arg $ components $ limit)
+
+let () =
+  let info =
+    Cmd.info "vscli" ~version:"1.0.0"
+      ~doc:
+        "Enriched view synchrony simulator — reproduction of 'On \
+         Programming with View Synchrony' (ICDCS 1996)."
+  in
+  exit (Cmd.eval (Cmd.group info [ experiment_cmd; campaign_cmd; trace_cmd ]))

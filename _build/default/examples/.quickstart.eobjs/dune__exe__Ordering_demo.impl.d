@@ -1,0 +1,1 @@
+examples/ordering_demo.ml: Hashtbl List Printf String Vs_net Vs_sim Vs_vsync

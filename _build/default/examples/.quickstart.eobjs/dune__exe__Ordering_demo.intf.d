@@ -1,0 +1,1 @@
+examples/ordering_demo.mli:

@@ -1,0 +1,1 @@
+examples/parallel_db_demo.ml: Evs_core List Printf String Vs_apps Vs_net Vs_sim Vs_vsync

@@ -1,0 +1,1 @@
+examples/partition_merge_demo.ml: Evs_core List Printf Vs_apps Vs_net Vs_sim Vs_vsync

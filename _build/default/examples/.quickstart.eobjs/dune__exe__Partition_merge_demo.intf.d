@@ -1,0 +1,1 @@
+examples/partition_merge_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Evs_core List Printf Vs_apps Vs_net Vs_sim Vs_vsync

@@ -1,0 +1,1 @@
+examples/replicated_file_demo.ml: Evs_core List Printf Vs_apps Vs_net Vs_sim Vs_store Vs_vsync

@@ -1,0 +1,1 @@
+examples/replicated_file_demo.mli:

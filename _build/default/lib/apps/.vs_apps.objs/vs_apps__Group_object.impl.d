@@ -1,0 +1,1 @@
+lib/apps/group_object.ml: Evs_core List Option Printf Vs_gms Vs_net Vs_sim Vs_util Vs_vsync

@@ -1,0 +1,1 @@
+lib/apps/group_object.mli: Evs_core Vs_gms Vs_net Vs_sim Vs_vsync

@@ -1,0 +1,1 @@
+lib/apps/kv_store.ml: Evs_core Group_object Hashtbl Int List Map Option String Vs_gms Vs_net Vs_sim Vs_vsync

@@ -1,0 +1,1 @@
+lib/apps/kv_store.mli: Evs_core Group_object Vs_net Vs_sim Vs_vsync

@@ -1,0 +1,1 @@
+lib/apps/last_to_fail.ml: Int List Printf String Vs_gms Vs_net Vs_store Vs_util

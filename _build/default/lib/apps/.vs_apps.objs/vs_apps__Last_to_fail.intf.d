@@ -1,0 +1,1 @@
+lib/apps/last_to_fail.mli: Vs_gms Vs_net Vs_store

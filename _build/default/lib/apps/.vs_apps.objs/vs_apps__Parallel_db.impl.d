@@ -1,0 +1,1 @@
+lib/apps/parallel_db.ml: Evs_core Group_object Hashtbl List Option Vs_gms Vs_net Vs_sim Vs_vsync

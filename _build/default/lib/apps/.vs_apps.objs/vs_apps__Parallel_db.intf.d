@@ -1,0 +1,1 @@
+lib/apps/parallel_db.mli: Evs_core Group_object Vs_net Vs_sim Vs_vsync

@@ -1,0 +1,1 @@
+lib/apps/replicated_file.ml: Evs_core Group_object Hashtbl List String Vs_gms Vs_net Vs_sim Vs_store Vs_vsync

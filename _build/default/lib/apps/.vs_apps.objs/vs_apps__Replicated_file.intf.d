@@ -1,0 +1,1 @@
+lib/apps/replicated_file.mli: Evs_core Group_object Vs_net Vs_sim Vs_store Vs_vsync

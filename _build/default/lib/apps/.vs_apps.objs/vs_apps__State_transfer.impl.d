@@ -1,0 +1,1 @@
+lib/apps/state_transfer.ml: Evs_core Group_object Hashtbl List Vs_gms Vs_net Vs_sim Vs_vsync

@@ -1,0 +1,1 @@
+lib/apps/state_transfer.mli: Evs_core Group_object Vs_net Vs_sim Vs_vsync

@@ -1,0 +1,133 @@
+module Sim = Vs_sim.Sim
+module Proc_id = Vs_net.Proc_id
+module View = Vs_gms.View
+module Mode = Evs_core.Mode
+module Evs = Evs_core.Evs
+module Endpoint = Vs_vsync.Endpoint
+
+type payload =
+  | Inc of int
+  | Report of { vid : View.Id.t; value : int; settled : bool }
+
+type ann = { a_settled : bool; a_value : int }
+
+type net = (payload, ann) Evs.net
+
+let payload_size = function Inc _ -> 8 | Report _ -> 24
+
+let make_net sim config =
+  Evs.make_net ~payload_size ~ann_size:(fun _ -> 9) sim config
+
+type t = {
+  sim : Sim.t;
+  mutable obj : (payload, ann) Group_object.t option;
+  mutable value : int;
+  mutable authoritative : bool;
+      (* true once this replica has settled at least once: its value is a
+         valid lower bound of the logical counter *)
+  (* one in-progress report collection, keyed by the view that started it *)
+  mutable pending : (View.Id.t * (Proc_id.t, int * bool) Hashtbl.t) option;
+}
+
+let get_obj t = match t.obj with Some o -> o | None -> assert false
+
+let me t = Group_object.me (get_obj t)
+
+let value t = t.value
+
+let mode t = Group_object.mode (get_obj t)
+
+let obj t = get_obj t
+
+let refresh_annotation t =
+  Group_object.set_annotation (get_obj t)
+    (Some { a_settled = t.authoritative; a_value = t.value })
+
+let increment t ~by =
+  if Mode.equal (mode t) Mode.Normal then begin
+    Group_object.multicast (get_obj t) ~order:Endpoint.Total (Inc by);
+    Ok ()
+  end
+  else Error `Not_serving
+
+(* The settling protocol: every member reports its value; once reports from
+   every member of the view are in, adopt the maximum and reconcile. *)
+let maybe_complete t =
+  match t.pending with
+  | Some (vid, reports) ->
+      let obj = get_obj t in
+      let ev = Group_object.eview obj in
+      let members = Evs_core.E_view.members ev in
+      if
+        View.Id.equal vid ev.Evs_core.E_view.view.View.id
+        && List.for_all (fun m -> Hashtbl.mem reports m) members
+      then begin
+        let best =
+          Hashtbl.fold
+            (fun _ (v, settled) (best_any, best_settled) ->
+              (max v best_any, if settled then max v best_settled else best_settled))
+            reports (t.value, min_int)
+        in
+        let best_any, best_settled = best in
+        t.value <- (if best_settled > min_int then best_settled else best_any);
+        t.authoritative <- true;
+        t.pending <- None;
+        Group_object.complete_settling obj;
+        refresh_annotation t
+      end
+  | None -> ()
+
+(* Our own report is recorded on delivery like everyone else's. *)
+let handle_settle t _problem _ev =
+  let obj = get_obj t in
+  Group_object.begin_joint_settling obj;
+  let vid = (Group_object.eview obj).Evs_core.E_view.view.View.id in
+  t.pending <- Some (vid, Hashtbl.create 8);
+  (* FIFO suffices: report collection is a set, and FIFO multicast is
+     reliable within the view while total-order requests can race a view
+     change. *)
+  Group_object.multicast obj (Report { vid; value = t.value; settled = t.authoritative })
+
+let handle_message t ~sender payload =
+  match payload with
+  | Inc by ->
+      t.value <- t.value + by;
+      refresh_annotation t
+  | Report { vid; value; settled } -> (
+      match t.pending with
+      | Some (pvid, reports) when View.Id.equal pvid vid ->
+          Hashtbl.replace reports sender (value, settled);
+          maybe_complete t
+      | Some _ | None -> ())
+
+let create sim net ~me:me_ ~universe ?observer ~config () =
+  let t = { sim; obj = None; value = 0; authoritative = false; pending = None } in
+  let spec =
+    {
+      Group_object.target_of = (fun _ -> Mode.Serve_all);
+      reconfigure_policy = Mode.On_expansion;
+      settled_ann =
+        (fun ann -> match ann with Some a -> a.a_settled | None -> false);
+    }
+  in
+  let callbacks =
+    {
+      Group_object.on_mode = (fun _ -> refresh_annotation t);
+      on_settle = (fun problem ev -> handle_settle t problem ev);
+      on_message = (fun ~sender payload -> handle_message t ~sender payload);
+      on_eview = (fun _ -> ());
+    }
+  in
+  let obj =
+    Group_object.create sim net ~me:me_ ~universe ~config ~spec ~callbacks
+      ?observer ()
+  in
+  t.obj <- Some obj;
+  refresh_annotation t;
+  t
+
+let is_alive t = Group_object.is_alive (get_obj t)
+
+let leave t = Group_object.leave (get_obj t)
+
+let kill t = Group_object.kill (get_obj t)

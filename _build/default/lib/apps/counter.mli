@@ -1,0 +1,53 @@
+(** Replicated high-water-mark counter — the quickstart group object.
+
+    Increments are multicast in total order and applied by every member, so
+    replicas in one view agree.  Concurrent partitions may diverge; on any
+    shared-state problem the members exchange reports and adopt the maximum
+    (a monotone counter's natural merge), which uniformly solves transfer
+    (the joiner adopts the group's value), creation (the survivors' maximum
+    is restored) and merging (partitions converge to the highest count). *)
+
+module Proc_id = Vs_net.Proc_id
+module Mode = Evs_core.Mode
+module Endpoint = Vs_vsync.Endpoint
+
+type payload
+(** Wire messages of the counter object. *)
+
+type ann
+(** Flush annotation (settled flag + value). *)
+
+type net = (payload, ann) Evs_core.Evs.net
+
+val make_net : Vs_sim.Sim.t -> Vs_net.Net.config -> net
+
+type t
+
+val create :
+  Vs_sim.Sim.t ->
+  net ->
+  me:Proc_id.t ->
+  universe:int list ->
+  ?observer:(Group_object.observation -> unit) ->
+  config:Endpoint.config ->
+  unit ->
+  t
+
+val me : t -> Proc_id.t
+
+val value : t -> int
+(** Local replica value (readable in any mode). *)
+
+val mode : t -> Mode.t
+
+val increment : t -> by:int -> (unit, [ `Not_serving ]) result
+(** External operation: allowed only in Normal mode. *)
+
+val obj : t -> (payload, ann) Group_object.t
+(** The underlying group-object runtime (for tests and the harness). *)
+
+val is_alive : t -> bool
+
+val leave : t -> unit
+
+val kill : t -> unit

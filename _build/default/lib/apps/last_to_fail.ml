@@ -1,0 +1,115 @@
+module Proc_id = Vs_net.Proc_id
+module View = Vs_gms.View
+module Store = Vs_store.Store
+module Listx = Vs_util.Listx
+
+let log_key = "ltf:log"
+
+(* One view per line: "epoch proposer_node proposer_inc node.inc,node.inc". *)
+let view_to_line (v : View.t) =
+  Printf.sprintf "%d %d %d %s" v.View.id.View.Id.epoch
+    v.View.id.View.Id.proposer.Proc_id.node v.View.id.View.Id.proposer.Proc_id.inc
+    (String.concat ","
+       (List.map
+          (fun (p : Proc_id.t) -> Printf.sprintf "%d.%d" p.Proc_id.node p.Proc_id.inc)
+          v.View.members))
+
+let view_of_line line =
+  match String.split_on_char ' ' line with
+  | [ epoch; pnode; pinc; members ] ->
+      let proposer =
+        Proc_id.make ~node:(int_of_string pnode) ~inc:(int_of_string pinc)
+      in
+      let id = View.Id.make ~epoch:(int_of_string epoch) ~proposer in
+      let members =
+        String.split_on_char ',' members
+        |> List.map (fun s ->
+               match String.split_on_char '.' s with
+               | [ node; inc ] ->
+                   Proc_id.make ~node:(int_of_string node) ~inc:(int_of_string inc)
+               | _ -> failwith "Last_to_fail: corrupt member")
+      in
+      View.make id members
+  | _ -> failwith "Last_to_fail: corrupt log line"
+
+let persisted_views store ~node =
+  match Store.get store ~node ~key:log_key with
+  | None | Some "" -> []
+  | Some text -> List.map view_of_line (String.split_on_char '\n' text)
+
+let record_view store ~node view =
+  let line = view_to_line view in
+  let text =
+    match Store.get store ~node ~key:log_key with
+    | None | Some "" -> line
+    | Some existing -> existing ^ "\n" ^ line
+  in
+  Store.put store ~node ~key:log_key text
+
+let persisted_log store ~node =
+  List.map (fun v -> v.View.id) (persisted_views store ~node)
+
+let wipe store ~node = Store.delete store ~node ~key:log_key
+
+type report = { r_proc : Proc_id.t; r_last : View.Id.t option }
+
+type decision =
+  | Adopt_from of Proc_id.t list
+  | Wait_for of Proc_id.t list
+  | Fresh_start
+
+(* Assumes the pre-failure group shrank by crashes (Skeen's setting), so
+   successive views share survivors: any view later than [vmax] would have
+   been installed by a member of [vmax], hence if every member node of
+   [vmax] is accounted for among the reporters, [vmax] really was the
+   group's last gasp. *)
+let decide ~known_last_views reports =
+  let lasts = List.filter_map (fun r -> r.r_last) reports in
+  match lasts with
+  | [] -> Fresh_start
+  | _ ->
+      let vmax = List.fold_left max (List.hd lasts) lasts in
+      let holders =
+        List.filter_map
+          (fun r ->
+            match r.r_last with
+            | Some vid when View.Id.equal vid vmax -> Some r.r_proc
+            | Some _ | None -> None)
+          reports
+      in
+      let composition =
+        List.find_opt (fun (vid, _) -> View.Id.equal vid vmax) known_last_views
+      in
+      let reporter_nodes =
+        Listx.sorted_set ~cmp:Int.compare
+          (List.map (fun r -> r.r_proc.Proc_id.node) reports)
+      in
+      let missing =
+        match composition with
+        | Some (_, view) ->
+            List.filter
+              (fun (p : Proc_id.t) ->
+                not (Listx.mem ~cmp:Int.compare p.Proc_id.node reporter_nodes))
+              view.View.members
+        | None -> []
+      in
+      if missing = [] then Adopt_from (Proc_id.sort holders)
+      else Wait_for (Proc_id.sort missing)
+
+let decide_from_store store ~reporters =
+  let logs =
+    List.map (fun p -> (p, persisted_views store ~node:p.Proc_id.node)) reporters
+  in
+  let reports =
+    List.map
+      (fun (p, views) ->
+        let last =
+          match List.rev views with [] -> None | v :: _ -> Some v.View.id
+        in
+        { r_proc = p; r_last = last })
+      logs
+  in
+  let known_last_views =
+    List.concat_map (fun (_, views) -> List.map (fun v -> (v.View.id, v)) views) logs
+  in
+  decide ~known_last_views reports

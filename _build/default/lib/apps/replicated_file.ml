@@ -1,0 +1,233 @@
+module Sim = Vs_sim.Sim
+module Proc_id = Vs_net.Proc_id
+module View = Vs_gms.View
+module Mode = Evs_core.Mode
+module Evs = Evs_core.Evs
+module E_view = Evs_core.E_view
+module Endpoint = Vs_vsync.Endpoint
+module Store = Vs_store.Store
+
+type payload =
+  | Write of string
+  | Report of { vid : View.Id.t; version : int; settled : bool }
+  | Update of { vid : View.Id.t; version : int; content : string }
+
+type ann = { a_version : int; a_settled : bool }
+
+type net = (payload, ann) Evs.net
+
+let payload_size = function
+  | Write content -> 16 + String.length content
+  | Report _ -> 24
+  | Update { content; _ } -> 24 + String.length content
+
+let make_net sim config =
+  Evs.make_net ~payload_size ~ann_size:(fun _ -> 9) sim config
+
+type config = { votes : int -> int; total_votes : int }
+
+let uniform_votes ~universe =
+  { votes = (fun _ -> 1); total_votes = List.length universe }
+
+type settle_state = {
+  ss_vid : View.Id.t;
+  ss_reports : (Proc_id.t, int * bool) Hashtbl.t;
+  mutable ss_update_sent : bool;
+}
+
+type t = {
+  sim : Sim.t;
+  file : config;
+  store : Store.t;
+  node : int;
+  mutable obj : (payload, ann) Group_object.t option;
+  mutable content : string;
+  mutable version : int;
+  mutable settled : bool;
+  mutable settle : settle_state option;
+}
+
+let get_obj t = match t.obj with Some o -> o | None -> assert false
+
+let me t = Group_object.me (get_obj t)
+
+let mode t = Group_object.mode (get_obj t)
+
+let version t = t.version
+
+let obj t = get_obj t
+
+let quorum t = (t.file.total_votes / 2) + 1
+
+let votes_of_members t members =
+  (* Votes are per replica site (node); a membership never contains two
+     incarnations of one node, so summing per member is safe. *)
+  List.fold_left (fun acc (p : Proc_id.t) -> acc + t.file.votes p.Proc_id.node) 0 members
+
+let persist t =
+  Store.put t.store ~node:t.node ~key:"file:content" t.content;
+  Store.put t.store ~node:t.node ~key:"file:version" (string_of_int t.version)
+
+let restore t =
+  match
+    ( Store.get t.store ~node:t.node ~key:"file:content",
+      Store.get t.store ~node:t.node ~key:"file:version" )
+  with
+  | Some content, Some version ->
+      t.content <- content;
+      t.version <- int_of_string version
+  | _ -> ()
+
+let refresh_annotation t =
+  Group_object.set_annotation (get_obj t)
+    (Some { a_version = t.version; a_settled = t.settled })
+
+let read t =
+  match mode t with
+  | Mode.Normal | Mode.Reduced -> Ok (t.content, t.version)
+  | Mode.Settling -> Error `Not_serving
+
+let write t content =
+  if Mode.equal (mode t) Mode.Normal then begin
+    Group_object.multicast (get_obj t) ~order:Endpoint.Total (Write content);
+    Ok ()
+  end
+  else Error `Not_serving
+
+let apply_write t content =
+  t.version <- t.version + 1;
+  t.content <- content;
+  persist t;
+  refresh_annotation t
+
+(* Settling: once version reports from every member of the view are in, the
+   highest version is the current file (quorum intersection guarantees the
+   latest write is among the reports whenever the view defines a quorum);
+   the smallest holder ships it to the laggards, and each member reconciles
+   when it holds a version at least that high. *)
+let maybe_finish_settling t =
+  match t.settle with
+  | None -> ()
+  | Some st ->
+      let o = get_obj t in
+      let ev = Group_object.eview o in
+      let members = E_view.members ev in
+      if
+        View.Id.equal st.ss_vid ev.E_view.view.View.id
+        && List.for_all (fun m -> Hashtbl.mem st.ss_reports m) members
+      then begin
+        let max_version =
+          Hashtbl.fold (fun _ (v, _) acc -> max v acc) st.ss_reports 0
+        in
+        let holders =
+          Hashtbl.fold
+            (fun p (v, _) acc -> if v >= max_version then p :: acc else acc)
+            st.ss_reports []
+          |> Proc_id.sort
+        in
+        let laggards_exist =
+          Hashtbl.fold (fun _ (v, _) acc -> acc || v < max_version) st.ss_reports false
+        in
+        (match Proc_id.min_member holders with
+        | Some h
+          when Proc_id.equal h (me t) && laggards_exist
+               && (not st.ss_update_sent) && t.version >= max_version ->
+            st.ss_update_sent <- true;
+            Group_object.multicast o
+              (Update { vid = st.ss_vid; version = t.version; content = t.content })
+        | Some _ | None -> ());
+        if t.version >= max_version then begin
+          t.settled <- true;
+          t.settle <- None;
+          persist t;
+          refresh_annotation t;
+          Group_object.complete_settling o
+        end
+      end
+
+let handle_settle t _problem _ev =
+  let o = get_obj t in
+  Group_object.begin_joint_settling o;
+  let vid = (Group_object.eview o).E_view.view.View.id in
+  t.settle <-
+    Some { ss_vid = vid; ss_reports = Hashtbl.create 8; ss_update_sent = false };
+  Group_object.multicast o
+    (Report { vid; version = t.version; settled = t.settled })
+
+let handle_message t ~sender payload =
+  match payload with
+  | Write content ->
+      apply_write t content;
+      maybe_finish_settling t
+  | Report { vid; version; settled } -> (
+      match t.settle with
+      | Some st when View.Id.equal st.ss_vid vid ->
+          Hashtbl.replace st.ss_reports sender (version, settled);
+          maybe_finish_settling t
+      | Some _ | None -> ())
+  | Update { vid; version; content } -> (
+      match t.settle with
+      | Some st when View.Id.equal st.ss_vid vid ->
+          if version > t.version then begin
+            t.version <- version;
+            t.content <- content;
+            persist t
+          end;
+          maybe_finish_settling t
+      | Some _ | None -> ())
+
+let handle_mode t (step : Mode.Machine.step) =
+  (* Leaving Normal invalidates the settled lineage: writes may proceed in
+     some quorum we no longer belong to. *)
+  (match step.Mode.Machine.into_mode with
+  | Mode.Reduced -> t.settled <- false
+  | Mode.Normal | Mode.Settling -> ());
+  refresh_annotation t
+
+let create sim net ~me:me_ ~universe ?observer ~config ~file ~store () =
+  let t =
+    {
+      sim;
+      file;
+      store;
+      node = me_.Proc_id.node;
+      obj = None;
+      content = "";
+      version = 0;
+      settled = false;
+      settle = None;
+    }
+  in
+  restore t;
+  let spec =
+    {
+      Group_object.target_of =
+        (fun members ->
+          if votes_of_members t members >= quorum t then Mode.Serve_all
+          else Mode.Serve_reduced);
+      reconfigure_policy = Mode.On_expansion;
+      settled_ann =
+        (fun ann -> match ann with Some a -> a.a_settled | None -> false);
+    }
+  in
+  let callbacks =
+    {
+      Group_object.on_mode = (fun step -> handle_mode t step);
+      on_settle = (fun problem ev -> handle_settle t problem ev);
+      on_message = (fun ~sender payload -> handle_message t ~sender payload);
+      on_eview = (fun _ -> ());
+    }
+  in
+  let o =
+    Group_object.create sim net ~me:me_ ~universe ~config ~spec ~callbacks
+      ?observer ()
+  in
+  t.obj <- Some o;
+  refresh_annotation t;
+  t
+
+let is_alive t = Group_object.is_alive (get_obj t)
+
+let leave t = Group_object.leave (get_obj t)
+
+let kill t = Group_object.kill (get_obj t)

@@ -1,0 +1,1 @@
+lib/core/classify.pp.ml: E_view List Option Ppx_deriving_runtime Printf String Vs_gms Vs_net Vs_util

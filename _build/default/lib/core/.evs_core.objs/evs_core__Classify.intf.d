@@ -1,0 +1,1 @@
+lib/core/classify.pp.mli: E_view Ppx_deriving_runtime Vs_gms Vs_net

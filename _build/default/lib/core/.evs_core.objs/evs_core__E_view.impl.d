@@ -1,0 +1,1 @@
+lib/core/e_view.pp.ml: List Option Ppx_deriving_runtime Printf Result String Vs_gms Vs_net Vs_util

@@ -1,0 +1,1 @@
+lib/core/e_view.pp.mli: Ppx_deriving_runtime Vs_gms Vs_net

@@ -1,0 +1,1 @@
+lib/core/evs.pp.ml: E_view List Option Printf Result Vs_gms Vs_net Vs_sim Vs_vsync

@@ -1,0 +1,1 @@
+lib/core/evs.pp.mli: E_view Vs_gms Vs_net Vs_sim Vs_vsync

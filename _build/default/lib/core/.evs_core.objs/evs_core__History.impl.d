@@ -1,0 +1,1 @@
+lib/core/history.pp.ml: List Mode Vs_gms Vs_net Vs_util

@@ -1,0 +1,1 @@
+lib/core/history.pp.mli: Mode Vs_gms Vs_net

@@ -1,0 +1,1 @@
+lib/core/mode.pp.ml: Format Int List Option Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/core/mode.pp.mli: Format Ppx_deriving_runtime

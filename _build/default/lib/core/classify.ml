@@ -1,0 +1,176 @@
+module Proc_id = Vs_net.Proc_id
+module View = Vs_gms.View
+module Listx = Vs_util.Listx
+
+type prior_state = Was_normal | Was_reduced | Was_settling | Was_fresh
+[@@deriving eq, ord, show]
+
+type creation_kind = No_creation | Rebirth | In_progress
+[@@deriving eq, ord, show]
+
+type problem = {
+  transfer : bool;
+  creation : creation_kind;
+  merging : bool;
+  clusters : int;
+}
+[@@deriving eq, ord, show]
+
+let no_problem =
+  { transfer = false; creation = No_creation; merging = false; clusters = 1 }
+
+let shape p = (p.transfer, p.creation, p.merging)
+
+let problem_to_string p =
+  let tags =
+    (if p.transfer then [ "transfer" ] else [])
+    @ (match p.creation with
+      | No_creation -> []
+      | Rebirth -> [ "creation(rebirth)" ]
+      | In_progress -> [ "creation(in-progress)" ])
+    @ if p.merging then [ Printf.sprintf "merging(%d)" p.clusters ] else []
+  in
+  match tags with [] -> "none" | tags -> String.concat "+" tags
+
+(* ---------- oracle ---------- *)
+
+let exact ~members ~prior =
+  let infos = List.map (fun p -> (p, prior p)) members in
+  let s_n =
+    List.filter (fun (_, (st, _)) -> equal_prior_state st Was_normal) infos
+  in
+  let s_r =
+    List.filter (fun (_, (st, _)) -> not (equal_prior_state st Was_normal)) infos
+  in
+  if s_n = [] then begin
+    let in_progress =
+      List.exists (fun (_, (st, _)) -> equal_prior_state st Was_settling) s_r
+    in
+    {
+      transfer = false;
+      creation = (if in_progress then In_progress else Rebirth);
+      merging = false;
+      clusters = 0;
+    }
+  end
+  else begin
+    (* Clusters: members of S_N grouped by the view they come from. *)
+    let cluster_count =
+      List.filter_map (fun (p, (_, vid)) -> Some (Option.value vid ~default:(View.Id.initial p))) s_n
+      |> Listx.sorted_set ~cmp:View.Id.compare
+      |> List.length
+    in
+    {
+      transfer = s_r <> [];
+      creation = No_creation;
+      merging = cluster_count >= 2;
+      clusters = cluster_count;
+    }
+  end
+
+(* ---------- enriched views (Section 6.2) ---------- *)
+
+let enriched ~eview ~would_serve_all ?(settled = fun _ -> true) () =
+  let counts_as_cluster (sv : E_view.subview) =
+    would_serve_all sv.E_view.sv_members
+    && (match sv.E_view.sv_members with
+       | [ p ] -> settled p (* a fresh joiner's singleton is not a cluster *)
+       | _ -> true)
+  in
+  let cluster_subviews =
+    List.filter counts_as_cluster eview.E_view.structure.E_view.subviews
+  in
+  match cluster_subviews with
+  | [] ->
+      (* No up-to-date cluster.  An sv-set that satisfies the Normal
+         condition as a whole marks a creation protocol that was running
+         when the view changed (the paper's case (ii)); otherwise the state
+         must be recreated from scratch (case (iii)). *)
+      let in_progress =
+        List.exists
+          (fun ss -> would_serve_all (E_view.svset_members ss eview))
+          eview.E_view.structure.E_view.svsets
+      in
+      {
+        transfer = false;
+        creation = (if in_progress then In_progress else Rebirth);
+        merging = false;
+        clusters = 0;
+      }
+  | _ :: _ ->
+      let s_n =
+        List.concat_map (fun sv -> sv.E_view.sv_members) cluster_subviews
+        |> Proc_id.sort
+      in
+      let cluster_count = List.length cluster_subviews in
+      {
+        transfer =
+          not
+            (Listx.equal_set ~cmp:Proc_id.compare s_n
+               (E_view.members eview));
+        creation = No_creation;
+        merging = cluster_count >= 2;
+        clusters = cluster_count;
+      }
+
+(* ---------- flat views (Section 4) ---------- *)
+
+type flat_knowledge = {
+  fk_members : Proc_id.t list;
+  fk_me : Proc_id.t;
+  fk_my_prior : prior_state;
+  fk_my_prior_members : Proc_id.t list;
+}
+
+let flat k =
+  let members = Proc_id.sort k.fk_members in
+  let prior_members = Proc_id.sort k.fk_my_prior_members in
+  let strangers = Listx.diff ~cmp:Proc_id.compare members prior_members in
+  match k.fk_my_prior with
+  | Was_normal ->
+      (* Survivors of my view shared my mode (the mode function depends only
+         on the view), so they form one up-to-date cluster with me.  Each
+         stranger is either stale (transfer) or a member of another
+         up-to-date cluster (merging) — locally indistinguishable. *)
+      if strangers = [] then [ no_problem ]
+      else
+        [
+          { transfer = true; creation = No_creation; merging = false; clusters = 1 };
+          { transfer = false; creation = No_creation; merging = true; clusters = 2 };
+          { transfer = true; creation = No_creation; merging = true; clusters = 2 };
+        ]
+  | Was_reduced | Was_settling | Was_fresh ->
+      (* I am in S_R myself, so if any up-to-date cluster exists there is a
+         transfer problem; if none does it is a creation problem — and a
+         flat view cannot tell (the paper's Section 4 example). *)
+      if strangers = [] then begin
+        let kind =
+          if equal_prior_state k.fk_my_prior Was_settling then In_progress
+          else Rebirth
+        in
+        [ { transfer = false; creation = kind; merging = false; clusters = 0 } ]
+      end
+      else
+        [
+          { transfer = false; creation = Rebirth; merging = false; clusters = 0 };
+          { transfer = false; creation = In_progress; merging = false; clusters = 0 };
+          { transfer = true; creation = No_creation; merging = false; clusters = 1 };
+          { transfer = true; creation = No_creation; merging = true; clusters = 2 };
+        ]
+
+let flat_one_at_a_time k =
+  let members = Proc_id.sort k.fk_members in
+  let prior_members = Proc_id.sort k.fk_my_prior_members in
+  let strangers = Listx.diff ~cmp:Proc_id.compare members prior_members in
+  (* Under the Isis restriction (views grow by at most one member, primary
+     partition), a process can classify exactly: alone means creation, a
+     newcomer — itself or another — means transfer from the incumbents. *)
+  if List.length members = 1 then
+    [ { transfer = false; creation = Rebirth; merging = false; clusters = 0 } ]
+  else if equal_prior_state k.fk_my_prior Was_fresh then
+    [ { transfer = true; creation = No_creation; merging = false; clusters = 1 } ]
+  else if strangers <> [] then
+    [ { transfer = true; creation = No_creation; merging = false; clusters = 1 } ]
+  else if equal_prior_state k.fk_my_prior Was_normal then [ no_problem ]
+  else
+    [ { transfer = true; creation = No_creation; merging = false; clusters = 1 } ]

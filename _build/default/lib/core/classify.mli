@@ -1,0 +1,102 @@
+(** Shared-state problem classification (Sections 4 and 6.2 of the paper).
+
+    When a view change puts a process into Settling mode it must determine
+    {e which} shared-state problem it faces.  Splitting the new view into
+    [S_R] (members whose state is not authoritative: previously Reduced,
+    still Settling, or freshly joined/recovered) and [S_N] (members
+    previously Normal, i.e. holding up-to-date state), with [S_N] further
+    split into {e clusters} of members that shared a view:
+
+    - {e state transfer}: [S_R] and [S_N] both non-empty;
+    - {e state creation}: [S_N] empty, [S_R] non-empty — either a rebirth
+      after total failure or interrupting a creation already in progress;
+    - {e state merging}: [S_N] spans at least two clusters (possibly
+      together with a transfer problem).
+
+    Three classifiers share the {!problem} verdict type:
+
+    - {!exact} is the omniscient oracle (the harness knows every process's
+      prior mode and view) — the ground truth for experiment E5;
+    - {!enriched} reasons locally from the subview/sv-set structure, the way
+      Section 6.2 prescribes, and is exact when the application follows the
+      merge-at-reconcile methodology;
+    - {!flat} reasons locally from a traditional flat view — the member list
+      and the process's own past — and generally returns several possible
+      verdicts: the ambiguity the paper's Section 4 identifies. *)
+
+module Proc_id = Vs_net.Proc_id
+module View = Vs_gms.View
+
+type prior_state = Was_normal | Was_reduced | Was_settling | Was_fresh
+[@@deriving eq, ord, show]
+
+type creation_kind =
+  | No_creation
+  | Rebirth      (** the state disappeared and must be recreated *)
+  | In_progress  (** a creation protocol was already running *)
+[@@deriving eq, ord, show]
+
+type problem = {
+  transfer : bool;
+  creation : creation_kind;
+  merging : bool;
+  clusters : int;  (** number of up-to-date clusters (0 when [S_N] empty) *)
+}
+[@@deriving eq, ord, show]
+
+val no_problem : problem
+(** Everyone up to date, single cluster. *)
+
+val shape : problem -> bool * creation_kind * bool
+(** The (transfer, creation, merging) triple — what classifiers can be
+    compared on, since the exact cluster count is unknowable locally. *)
+
+val problem_to_string : problem -> string
+
+(** {2 Oracle} *)
+
+val exact :
+  members:Proc_id.t list ->
+  prior:(Proc_id.t -> prior_state * View.Id.t option) ->
+  problem
+(** Ground truth from global knowledge: [prior p] gives the mode [p] was in
+    just before this view's cut, and the view it came from ([None] for fresh
+    processes). *)
+
+(** {2 Local reasoning with enriched views} *)
+
+val enriched :
+  eview:E_view.t ->
+  would_serve_all:(Proc_id.t list -> bool) ->
+  ?settled:(Proc_id.t -> bool) ->
+  unit ->
+  problem
+(** [would_serve_all ms] is the application's Normal-mode condition on a
+    member set (e.g. "defines a quorum").  A subview satisfying it is an
+    up-to-date cluster; an sv-set satisfying it while no single subview does
+    signals a creation in progress.  [settled] (default: everyone) refines
+    singleton subviews for applications whose Normal condition is trivially
+    true: a fresh joiner's singleton subview is not a cluster. *)
+
+(** {2 Local reasoning with flat views} *)
+
+type flat_knowledge = {
+  fk_members : Proc_id.t list;        (** new view composition *)
+  fk_me : Proc_id.t;
+  fk_my_prior : prior_state;          (** my own mode before the change *)
+  fk_my_prior_members : Proc_id.t list;  (** my previous view's composition *)
+}
+
+val flat : flat_knowledge -> problem list
+(** All verdicts consistent with what a flat view reveals, in a
+    deterministic order.  A singleton list means the process could classify
+    exactly; several candidates is the ambiguity of Section 4.  (Assumes
+    survivors of the process's own prior view shared its mode — the paper's
+    view-determined mode function; mid-view settling divergence can make
+    even this set miss, which experiment E5 measures as the wrong-rate.) *)
+
+val flat_one_at_a_time : flat_knowledge -> problem list
+(** The flat classifier under the Isis restriction that consecutive views
+    grow by at most one member (Section 5 discussion): the newcomer, if any,
+    is the only possibly-fresh process, which removes most ambiguity at the
+    cost experiment E4 quantifies. *)

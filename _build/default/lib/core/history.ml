@@ -1,0 +1,61 @@
+module Proc_id = Vs_net.Proc_id
+module View = Vs_gms.View
+
+type event =
+  | Deliver of { sender : Proc_id.t; seq : int; vid : View.Id.t }
+  | View_event of View.t
+  | Eview_event of { vid : View.Id.t; eseq : int }
+  | Mode_event of { mode : Mode.t; cause : Mode.transition option }
+
+type entry = { time : float; event : event }
+
+type t = {
+  owner : Proc_id.t;
+  mutable rev_entries : entry list;
+  mutable count : int;
+}
+
+let create owner = { owner; rev_entries = []; count = 0 }
+
+let owner t = t.owner
+
+let record t ~time event =
+  t.rev_entries <- { time; event } :: t.rev_entries;
+  t.count <- t.count + 1
+
+let events t = List.rev t.rev_entries
+
+let length t = t.count
+
+let prefix t i = Vs_util.Listx.take i (events t)
+
+let first_event_is_view t =
+  match List.rev t.rev_entries with
+  | { event = View_event _; _ } :: _ -> true
+  | _ -> false
+
+let views t =
+  List.filter_map
+    (fun e -> match e.event with View_event v -> Some v | _ -> None)
+    (events t)
+
+let deliveries_in_view t vid =
+  List.filter_map
+    (fun e ->
+      match e.event with
+      | Deliver { sender; seq; vid = v } when View.Id.equal v vid ->
+          Some (sender, seq)
+      | _ -> None)
+    (events t)
+
+let current_mode t =
+  let rec find = function
+    | { event = Mode_event { mode; _ }; _ } :: _ -> Some mode
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find t.rev_entries
+
+type mode_function = entry list -> Mode.t
+
+let evaluate t f = f (events t)

@@ -1,0 +1,58 @@
+(** Process histories (Section 3 of the paper).
+
+    The history [h_p] of a process is the sequence of delivery and view
+    events it observes, starting with the view event of joining the group.
+    The mode of a process after its [i]-th event is a function of the
+    history prefix [h_p^i]; a process re-evaluates its mode function on
+    every event.
+
+    The harness records one of these per process; tests use them to check
+    the paper's assumptions (first event is a view, mode depends only on the
+    current view across view changes) and the delivery properties. *)
+
+module Proc_id = Vs_net.Proc_id
+module View = Vs_gms.View
+
+type event =
+  | Deliver of { sender : Proc_id.t; seq : int; vid : View.Id.t }
+      (** delivery of the [seq]-th recorded message from [sender] in view
+          [vid] (an application-level identity, not the wire sequence) *)
+  | View_event of View.t
+  | Eview_event of { vid : View.Id.t; eseq : int }
+  | Mode_event of { mode : Mode.t; cause : Mode.transition option }
+
+type entry = { time : float; event : event }
+
+type t
+
+val create : Proc_id.t -> t
+
+val owner : t -> Proc_id.t
+
+val record : t -> time:float -> event -> unit
+
+val events : t -> entry list
+(** Oldest first. *)
+
+val length : t -> int
+
+val prefix : t -> int -> entry list
+(** [prefix t i] is [h_p^i], the first [i] events. *)
+
+val first_event_is_view : t -> bool
+(** The paper's assumption: a history starts with a view event. *)
+
+val views : t -> View.t list
+(** The sequence of views installed, oldest first. *)
+
+val deliveries_in_view : t -> View.Id.t -> (Proc_id.t * int) list
+(** Message identities delivered within a given view, in delivery order. *)
+
+val current_mode : t -> Mode.t option
+(** Mode after the last recorded mode event. *)
+
+type mode_function = entry list -> Mode.t
+(** A mode function in the paper's sense: from a history prefix to a mode. *)
+
+val evaluate : t -> mode_function -> Mode.t
+(** Apply a mode function to the full recorded history. *)

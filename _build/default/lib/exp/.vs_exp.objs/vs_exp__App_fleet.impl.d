@@ -1,0 +1,1 @@
+lib/exp/app_fleet.ml: Evs_core Hashtbl List Option Vs_gms Vs_harness Vs_net Vs_sim Vs_util

@@ -1,0 +1,1 @@
+lib/exp/app_fleet.mli: Evs_core Vs_gms Vs_harness Vs_net Vs_sim

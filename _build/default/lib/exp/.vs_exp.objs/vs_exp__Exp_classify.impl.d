@@ -1,0 +1,1 @@
+lib/exp/exp_classify.ml: App_fleet Evs_core Int64 List Printf Vs_apps Vs_gms Vs_harness Vs_net Vs_sim Vs_stats Vs_store Vs_util Vs_vsync

@@ -1,0 +1,1 @@
+lib/exp/exp_db.ml: App_fleet Array Hashtbl Int64 List Vs_apps Vs_harness Vs_net Vs_sim Vs_stats Vs_util Vs_vsync

@@ -1,0 +1,1 @@
+lib/exp/exp_figures.ml: Evs_core List String Vs_harness Vs_net Vs_sim Vs_stats

@@ -1,0 +1,1 @@
+lib/exp/exp_join.ml: Int64 List Vs_harness Vs_sim Vs_stats Vs_util Vs_vsync

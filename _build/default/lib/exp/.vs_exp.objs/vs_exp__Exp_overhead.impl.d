@@ -1,0 +1,1 @@
+lib/exp/exp_overhead.ml: Evs_core Int64 List Vs_harness Vs_net Vs_sim Vs_stats Vs_util Vs_vsync

@@ -1,0 +1,1 @@
+lib/exp/exp_transfer.ml: List Vs_apps Vs_net Vs_sim Vs_stats Vs_vsync

@@ -1,0 +1,122 @@
+module Proc_id = Vs_net.Proc_id
+module View = Vs_gms.View
+module Mode = Evs_core.Mode
+module Classify = Evs_core.Classify
+module History = Evs_core.History
+module Faults = Vs_harness.Faults
+module Sim = Vs_sim.Sim
+
+type 'app t = {
+  nodes : int list;
+  make : node:int -> inc:int -> 'app;
+  kill : 'app -> unit;
+  is_alive : 'app -> bool;
+  me : 'app -> Proc_id.t;
+  history : 'app -> History.t;
+  current : (int, 'app) Hashtbl.t;     (* node -> live instance *)
+  next_inc : (int, int) Hashtbl.t;
+  mutable rev_all : 'app list;
+}
+
+let boot t node =
+  let inc = Option.value ~default:0 (Hashtbl.find_opt t.next_inc node) in
+  Hashtbl.replace t.next_inc node (inc + 1);
+  let app = t.make ~node ~inc in
+  Hashtbl.replace t.current node app;
+  t.rev_all <- app :: t.rev_all
+
+let create ~sim:_ ~nodes ~make ~kill ~is_alive ~me ~history =
+  let t =
+    {
+      nodes;
+      make;
+      kill;
+      is_alive;
+      me;
+      history;
+      current = Hashtbl.create 16;
+      next_inc = Hashtbl.create 16;
+      rev_all = [];
+    }
+  in
+  List.iter (boot t) nodes;
+  t
+
+let live t =
+  List.filter_map
+    (fun node ->
+      match Hashtbl.find_opt t.current node with
+      | Some app when t.is_alive app -> Some app
+      | Some _ | None -> None)
+    t.nodes
+
+let on_node t node =
+  match Hashtbl.find_opt t.current node with
+  | Some app when t.is_alive app -> Some app
+  | Some _ | None -> None
+
+let all_ever t = List.rev t.rev_all
+
+let history_of t proc =
+  List.find_map
+    (fun app ->
+      if Proc_id.equal (t.me app) proc then Some (t.history app) else None)
+    t.rev_all
+
+let apply_action t action net_action =
+  match action with
+  | Faults.Partition _ | Faults.Heal -> net_action action
+  | Faults.Crash node -> (
+      match on_node t node with
+      | Some app ->
+          t.kill app;
+          Hashtbl.remove t.current node
+      | None -> ())
+  | Faults.Recover node -> (
+      match on_node t node with Some _ -> () | None -> boot t node)
+
+let run_script t sim script ~net_action =
+  Faults.schedule sim script ~apply:(fun action ->
+      Sim.record sim ~component:"faults" (Faults.to_string action);
+      apply_action t action net_action)
+
+(* Walk the history backwards from the View_event of [vid]: the first
+   Mode_event before it is the mode the process was in at the cut. *)
+let prior_state_of t proc ~vid =
+  match history_of t proc with
+  | None -> (Classify.Was_fresh, None)
+  | Some h ->
+      let events = History.events h in
+      (* Find the index of the install of [vid]; if absent (the process
+         died first), analyse the whole history. *)
+      let rec find_ix i = function
+        | { History.event = History.View_event v; _ } :: _
+          when View.Id.equal v.View.id vid ->
+            Some i
+        | _ :: rest -> find_ix (i + 1) rest
+        | [] -> None
+      in
+      let horizon =
+        match find_ix 0 events with
+        | Some i -> Vs_util.Listx.take i events
+        | None -> events
+      in
+      let rec scan mode prior = function
+        | [] -> (mode, prior)
+        | { History.event; _ } :: rest ->
+            let mode, prior =
+              match event with
+              | History.Mode_event { mode = m; _ } ->
+                  let state =
+                    match m with
+                    | Mode.Normal -> Classify.Was_normal
+                    | Mode.Reduced -> Classify.Was_reduced
+                    | Mode.Settling -> Classify.Was_settling
+                  in
+                  (state, prior)
+              | History.View_event v -> (mode, Some v.View.id)
+              | History.Deliver _ | History.Eview_event _ -> (mode, prior)
+            in
+            scan mode prior rest
+      in
+      scan Classify.Was_fresh None horizon

@@ -1,0 +1,52 @@
+(** Fleets of application instances under fault scripts — shared driver for
+    the application-level experiments (E1, E5, E7, E8).
+
+    A fleet tracks every instance ever created (dead incarnations included),
+    so post-hoc analysis can read any process's history, and interprets
+    fault-script actions by killing and re-creating instances. *)
+
+module Proc_id = Vs_net.Proc_id
+module History = Evs_core.History
+
+type 'app t
+
+val create :
+  sim:Vs_sim.Sim.t ->
+  nodes:int list ->
+  make:(node:int -> inc:int -> 'app) ->
+  kill:('app -> unit) ->
+  is_alive:('app -> bool) ->
+  me:('app -> Proc_id.t) ->
+  history:('app -> History.t) ->
+  'app t
+(** [make] boots an instance (it must register itself on the fleet's
+    network); initial incarnations are created immediately. *)
+
+val live : 'app t -> 'app list
+
+val on_node : 'app t -> int -> 'app option
+
+val all_ever : 'app t -> 'app list
+
+val history_of : 'app t -> Proc_id.t -> History.t option
+(** History of any process identity that ever existed in the fleet. *)
+
+val apply_action : 'app t -> Vs_harness.Faults.action -> (Vs_harness.Faults.action -> unit) -> unit
+(** Interpret crash/recover (partitions/heals are delegated to the given
+    network handler). *)
+
+val run_script :
+  'app t -> Vs_sim.Sim.t -> Vs_harness.Faults.script ->
+  net_action:(Vs_harness.Faults.action -> unit) -> unit
+
+(** {2 Post-hoc mode analysis} *)
+
+val prior_state_of :
+  'app t ->
+  Proc_id.t ->
+  vid:Vs_gms.View.Id.t ->
+  Evs_core.Classify.prior_state * Vs_gms.View.Id.t option
+(** The mode a process was in, and the view it came from, just before it
+    installed [vid] — reconstructed from its recorded history.  Falls back
+    to the process's final recorded state if it died before installing
+    [vid] (it was a member of the proposed view but never made it). *)

@@ -1,0 +1,1 @@
+lib/fd/fd.ml: Hashtbl List Printf String Vs_net Vs_sim

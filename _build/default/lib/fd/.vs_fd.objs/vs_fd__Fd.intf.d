@@ -1,0 +1,1 @@
+lib/fd/fd.mli: Vs_net Vs_sim

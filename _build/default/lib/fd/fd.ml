@@ -1,0 +1,87 @@
+module Sim = Vs_sim.Sim
+module Proc_id = Vs_net.Proc_id
+
+type config = { period : float; timeout : float }
+
+let default_config = { period = 0.030; timeout = 0.100 }
+
+type t = {
+  sim : Sim.t;
+  me : Proc_id.t;
+  universe : int list;
+  config : config;
+  send_heartbeat : dst_node:int -> unit;
+  on_change : Proc_id.t list -> unit;
+  last_heard : (Proc_id.t, float) Hashtbl.t;
+  mutable current : Proc_id.t list;
+  mutable stopped : bool;
+}
+
+let compute_reachable t =
+  let now = Sim.now t.sim in
+  let fresh =
+    Hashtbl.fold
+      (fun p heard acc ->
+        if now -. heard < t.config.timeout then p :: acc else acc)
+      t.last_heard []
+  in
+  Proc_id.sort (t.me :: fresh)
+
+let refresh t =
+  if not t.stopped then begin
+    let next = compute_reachable t in
+    if not (List.equal Proc_id.equal next t.current) then begin
+      t.current <- next;
+      Sim.record t.sim ~component:"fd"
+        (Printf.sprintf "%s reachable {%s}" (Proc_id.to_string t.me)
+           (String.concat "," (List.map Proc_id.to_string next)));
+      t.on_change next
+    end
+  end
+
+let rec tick t () =
+  if not t.stopped then begin
+    List.iter
+      (fun node ->
+        if node <> t.me.Proc_id.node then t.send_heartbeat ~dst_node:node)
+      t.universe;
+    refresh t;
+    ignore (Sim.after t.sim t.config.period (tick t))
+  end
+
+let create sim ~me ~universe ~config ~send_heartbeat ~on_change =
+  if config.period <= 0. || config.timeout <= config.period then
+    invalid_arg "Fd.create: need 0 < period < timeout";
+  let t =
+    {
+      sim;
+      me;
+      universe;
+      config;
+      send_heartbeat;
+      on_change;
+      last_heard = Hashtbl.create 16;
+      current = [ me ];
+      stopped = false;
+    }
+  in
+  (* First tick goes through the event queue so the caller finishes wiring
+     up before anything fires. *)
+  ignore (Sim.after sim 0. (tick t));
+  t
+
+let heartbeat_received t ~from =
+  if (not t.stopped) && not (Proc_id.equal from t.me) then begin
+    Hashtbl.replace t.last_heard from (Sim.now t.sim);
+    refresh t
+  end
+
+let forget t p =
+  if Hashtbl.mem t.last_heard p then begin
+    Hashtbl.remove t.last_heard p;
+    refresh t
+  end
+
+let reachable t = t.current
+
+let stop t = t.stopped <- true

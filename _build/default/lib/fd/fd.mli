@@ -1,0 +1,44 @@
+(** Heartbeat failure detector.
+
+    Each process periodically sends heartbeats to every node in the universe
+    and considers a peer reachable while heartbeats from it are fresher than
+    [timeout].  Under message delay or partitions this produces exactly the
+    false suspicions of the paper's asynchronous model: a slow process is
+    indistinguishable from a crashed one.
+
+    The detector does not own the wire: the stack injects [send_heartbeat]
+    (so heartbeats share the protocol's network message type) and calls
+    {!heartbeat_received} when one arrives. *)
+
+type t
+
+type config = {
+  period : float;   (** heartbeat emission interval *)
+  timeout : float;  (** silence after which a peer is suspected *)
+}
+
+val default_config : config
+(** period 30 ms, timeout 100 ms. *)
+
+val create :
+  Vs_sim.Sim.t ->
+  me:Vs_net.Proc_id.t ->
+  universe:int list ->
+  config:config ->
+  send_heartbeat:(dst_node:int -> unit) ->
+  on_change:(Vs_net.Proc_id.t list -> unit) ->
+  t
+(** Start heartbeating.  [universe] is the set of node ids that may ever host
+    a group member.  [on_change] fires with the new sorted reachable set
+    whenever it changes; the set always contains [me]. *)
+
+val heartbeat_received : t -> from:Vs_net.Proc_id.t -> unit
+
+val forget : t -> Vs_net.Proc_id.t -> unit
+(** Drop a peer immediately (graceful leave announcements). *)
+
+val reachable : t -> Vs_net.Proc_id.t list
+(** Current sorted reachable set, including [me]. *)
+
+val stop : t -> unit
+(** Cease heartbeating and suspecting (process leaving or crashed). *)

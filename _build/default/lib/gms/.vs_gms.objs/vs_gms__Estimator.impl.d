@@ -1,0 +1,1 @@
+lib/gms/estimator.pp.ml: List Vs_net Vs_sim

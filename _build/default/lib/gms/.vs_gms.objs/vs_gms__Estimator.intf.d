@@ -1,0 +1,1 @@
+lib/gms/estimator.pp.mli: Vs_net Vs_sim

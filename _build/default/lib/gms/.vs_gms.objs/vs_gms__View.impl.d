@@ -1,0 +1,1 @@
+lib/gms/view.pp.ml: List Ppx_deriving_runtime Printf String Vs_net

@@ -1,0 +1,1 @@
+lib/gms/view.pp.mli: Ppx_deriving_runtime Vs_net

@@ -1,0 +1,76 @@
+module Sim = Vs_sim.Sim
+module Proc_id = Vs_net.Proc_id
+
+type t = {
+  sim : Sim.t;
+  stability : float;
+  nag_period : float;
+  achieved : unit -> Proc_id.t list;
+  on_target : Proc_id.t list -> unit;
+  mutable candidate : Proc_id.t list;  (* latest reachable set *)
+  mutable settle_timer : Sim.handle option;
+  mutable nag_timer : Sim.handle option;
+  mutable emitted : Proc_id.t list option;
+  mutable stopped : bool;
+}
+
+let cancel_timer = function Some h -> Sim.cancel h | None -> ()
+
+let same = List.equal Proc_id.equal
+
+let rec emit t =
+  if not t.stopped then begin
+    t.emitted <- Some t.candidate;
+    t.on_target t.candidate;
+    schedule_nag t
+  end
+
+and schedule_nag t =
+  cancel_timer t.nag_timer;
+  let handle =
+    Sim.after t.sim t.nag_period (fun () ->
+        if not t.stopped then
+          match t.emitted with
+          | Some target when not (same target (t.achieved ())) ->
+              if same target t.candidate then emit t else schedule_nag t
+          | Some _ | None -> ())
+  in
+  t.nag_timer <- Some handle
+
+let create sim ~stability ~nag_period ~achieved ~on_target =
+  if stability < 0. || nag_period <= 0. then
+    invalid_arg "Estimator.create: bad timing parameters";
+  {
+    sim;
+    stability;
+    nag_period;
+    achieved;
+    on_target;
+    candidate = [];
+    settle_timer = None;
+    nag_timer = None;
+    emitted = None;
+    stopped = false;
+  }
+
+let update t reachable =
+  if not t.stopped then begin
+    let reachable = Proc_id.sort reachable in
+    if not (same reachable t.candidate) then begin
+      t.candidate <- reachable;
+      cancel_timer t.settle_timer;
+      let handle =
+        Sim.after t.sim t.stability (fun () ->
+            if (not t.stopped) && not (same t.candidate (t.achieved ())) then
+              emit t)
+      in
+      t.settle_timer <- Some handle
+    end
+  end
+
+let target t = t.emitted
+
+let stop t =
+  t.stopped <- true;
+  cancel_timer t.settle_timer;
+  cancel_timer t.nag_timer

@@ -1,0 +1,29 @@
+(** Membership estimator: a stability filter between the failure detector and
+    the view-agreement protocol.
+
+    Raw reachability flaps while partitions form or heal; proposing a view
+    per flap wastes rounds and can livelock.  The estimator emits a target
+    membership only once the reachable set has stayed unchanged for
+    [stability] time, and re-emits it every [nag_period] while the target
+    differs from what the caller reports as achieved — the retry mechanism
+    that recovers from lost proposals or crashed coordinators. *)
+
+type t
+
+val create :
+  Vs_sim.Sim.t ->
+  stability:float ->
+  nag_period:float ->
+  achieved:(unit -> Vs_net.Proc_id.t list) ->
+  on_target:(Vs_net.Proc_id.t list -> unit) ->
+  t
+(** [achieved ()] must return the membership of the caller's currently
+    installed view; nagging stops once the target matches it. *)
+
+val update : t -> Vs_net.Proc_id.t list -> unit
+(** Feed a new reachable set (from the failure detector). *)
+
+val target : t -> Vs_net.Proc_id.t list option
+(** Last emitted target, if any. *)
+
+val stop : t -> unit

@@ -1,0 +1,1 @@
+lib/harness/evs_cluster.ml: Evs_core Faults Hashtbl Int List Option Oracle Printf String Vs_gms Vs_net Vs_sim Vs_util Vs_vsync

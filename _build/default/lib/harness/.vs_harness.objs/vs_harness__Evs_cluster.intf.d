@@ -1,0 +1,1 @@
+lib/harness/evs_cluster.mli: Evs_core Faults Oracle Vs_gms Vs_net Vs_sim Vs_vsync

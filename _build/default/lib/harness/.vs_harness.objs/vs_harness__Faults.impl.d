@@ -1,0 +1,1 @@
+lib/harness/faults.ml: Hashtbl List Printf String Vs_sim Vs_util

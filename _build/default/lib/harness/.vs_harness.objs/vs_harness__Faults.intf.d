@@ -1,0 +1,1 @@
+lib/harness/faults.mli: Vs_sim Vs_util

@@ -1,0 +1,1 @@
+lib/harness/oracle.ml: Hashtbl List Option Printf String Vs_gms Vs_net Vs_util

@@ -1,0 +1,1 @@
+lib/harness/oracle.mli: Vs_gms Vs_net

@@ -1,0 +1,1 @@
+lib/harness/vsync_cluster.ml: Faults Hashtbl Int List Oracle Vs_gms Vs_net Vs_sim Vs_util Vs_vsync

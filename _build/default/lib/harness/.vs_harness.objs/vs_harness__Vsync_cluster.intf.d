@@ -1,0 +1,1 @@
+lib/harness/vsync_cluster.mli: Faults Oracle Vs_gms Vs_net Vs_sim Vs_vsync

@@ -1,0 +1,341 @@
+module Sim = Vs_sim.Sim
+module Net = Vs_net.Net
+module Proc_id = Vs_net.Proc_id
+module View = Vs_gms.View
+module E_view = Evs_core.E_view
+module Evs = Evs_core.Evs
+module Endpoint = Vs_vsync.Endpoint
+module Rng = Vs_util.Rng
+module Listx = Vs_util.Listx
+
+type eview_record = {
+  er_proc : Proc_id.t;
+  er_time : float;
+  er_eview : E_view.t;
+  er_cause : string;
+}
+
+type node_state = {
+  mutable evs : (Oracle.msg_id, unit) Evs.t option;
+  mutable prior_vid : View.Id.t;
+  mutable send_index : int;
+}
+
+type t = {
+  sim : Sim.t;
+  net : (Oracle.msg_id, unit) Evs.net;
+  config : Endpoint.config;
+  oracle : Oracle.t;
+  rng : Rng.t;
+  universe : int list;
+  nodes : (int, node_state) Hashtbl.t;
+  mutable rev_records : eview_record list;
+  mutable echanges : int;
+}
+
+let sim t = t.sim
+
+let oracle t = t.oracle
+
+let net_stats t = Net.stats t.net
+
+let node_state t node = Hashtbl.find t.nodes node
+
+let cause_string = function
+  | Evs.View_change -> "view"
+  | Evs.Svset_merged id -> "svset-merge " ^ E_view.Svset_id.to_string id
+  | Evs.Subview_merged id -> "subview-merge " ^ E_view.Subview_id.to_string id
+
+let boot t node =
+  let st = node_state t node in
+  assert (st.evs = None);
+  let me = Net.fresh_incarnation t.net node in
+  let handle = ref None in
+  let callbacks =
+    {
+      Evs.on_eview =
+        (fun ev ->
+          t.rev_records <-
+            {
+              er_proc = me;
+              er_time = Sim.now t.sim;
+              er_eview = ev.Evs.eview;
+              er_cause = cause_string ev.Evs.cause;
+            }
+            :: t.rev_records;
+          match ev.Evs.cause with
+          | Evs.View_change ->
+              Oracle.record_install t.oracle ~proc:me
+                ~view:ev.Evs.eview.E_view.view ~prior:st.prior_vid
+                ~time:(Sim.now t.sim);
+              st.prior_vid <- ev.Evs.eview.E_view.view.View.id
+          | Evs.Svset_merged _ | Evs.Subview_merged _ ->
+              t.echanges <- t.echanges + 1);
+      on_message =
+        (fun ~sender:_ msg_id ->
+          match !handle with
+          | Some e ->
+              Oracle.record_delivery t.oracle ~proc:me
+                ~vid:(Evs.view e).View.id msg_id ~time:(Sim.now t.sim)
+          | None -> ());
+    }
+  in
+  st.prior_vid <- View.Id.initial me;
+  let e = Evs.create t.sim t.net ~me ~universe:t.universe ~config:t.config ~callbacks in
+  handle := Some e;
+  st.evs <- Some e
+
+let create ?(seed = 1L) ?(net_config = Net.default_config)
+    ?(config = Endpoint.default_config) ~n () =
+  let sim = Sim.create ~seed () in
+  let net : (Oracle.msg_id, unit) Evs.net = Evs.make_net sim net_config in
+  let universe = List.init n (fun i -> i) in
+  let t =
+    {
+      sim;
+      net;
+      config;
+      oracle = Oracle.create ();
+      rng = Sim.fork_rng sim;
+      universe;
+      nodes = Hashtbl.create 16;
+      rev_records = [];
+      echanges = 0;
+    }
+  in
+  List.iter
+    (fun node ->
+      Hashtbl.replace t.nodes node
+        {
+          evs = None;
+          prior_vid = View.Id.initial (Proc_id.initial node);
+          send_index = 0;
+        };
+      boot t node)
+    universe;
+  t
+
+let run t ~until = ignore (Sim.run ~until t.sim)
+
+let live t =
+  List.filter_map
+    (fun node ->
+      match (node_state t node).evs with
+      | Some e when Evs.is_alive e -> Some e
+      | Some _ | None -> None)
+    t.universe
+
+let evs_on t node =
+  match (node_state t node).evs with
+  | Some e when Evs.is_alive e -> Some e
+  | Some _ | None -> None
+
+let multicast_from t ~node ?order () =
+  match evs_on t node with
+  | Some e ->
+      let st = node_state t node in
+      let msg_id = { Oracle.m_sender = Evs.me e; m_index = st.send_index } in
+      st.send_index <- st.send_index + 1;
+      let order_class =
+        match order with Some Endpoint.Total -> `Total | _ -> `Fifo
+      in
+      Oracle.record_send t.oracle ~order:order_class msg_id;
+      Evs.multicast e ?order msg_id
+  | None -> ()
+
+let apply_action t action =
+  match action with
+  | Faults.Partition comps -> Net.set_partition t.net comps
+  | Faults.Heal -> Net.heal t.net
+  | Faults.Crash node -> (
+      match evs_on t node with
+      | Some e ->
+          Evs.kill e;
+          (node_state t node).evs <- None
+      | None -> ())
+  | Faults.Recover node ->
+      let st = node_state t node in
+      (match st.evs with
+      | Some e when Evs.is_alive e -> ()
+      | Some _ | None ->
+          st.evs <- None;
+          boot t node)
+
+let run_script t script =
+  Faults.schedule t.sim script ~apply:(fun action ->
+      Sim.record t.sim ~component:"faults" (Faults.to_string action);
+      apply_action t action)
+
+let pump_traffic t ~start ~until ~mean_gap =
+  let rec arm time =
+    let time = time +. Rng.exponential t.rng mean_gap in
+    if time < until then begin
+      ignore
+        (Sim.at t.sim time (fun () ->
+             let node = Rng.pick t.rng t.universe in
+             let order =
+               if Rng.bool t.rng 0.2 then Endpoint.Total else Endpoint.Fifo
+             in
+             multicast_from t ~node ~order ()));
+      arm time
+    end
+  in
+  arm start
+
+let eview_records t = List.rev t.rev_records
+
+let eview_changes_total t = t.echanges
+
+(* Property 6.1: within one view, every process records the same sequence
+   of e-view changes — match records by (view id, eseq) and require equal
+   structures and causes. *)
+let check_total_order t =
+  let records = eview_records t in
+  let key r = (r.er_eview.E_view.view.View.id, r.er_eview.E_view.eseq) in
+  let groups =
+    Listx.group_by ~key
+      ~cmp_key:(fun (v1, s1) (v2, s2) ->
+        match View.Id.compare v1 v2 with 0 -> Int.compare s1 s2 | c -> c)
+      records
+  in
+  List.concat_map
+    (fun ((vid, eseq), group) ->
+      match group with
+      | [] | [ _ ] -> []
+      | first :: rest ->
+          let fingerprint r = E_view.to_string r.er_eview in
+          let reference = fingerprint first in
+          List.concat_map
+            (fun r ->
+              let mismatches = ref [] in
+              if not (String.equal (fingerprint r) reference) then
+                mismatches :=
+                  Printf.sprintf
+                    "total-order: %s and %s disagree on e-view (%s, %d): %s vs %s"
+                    (Proc_id.to_string first.er_proc)
+                    (Proc_id.to_string r.er_proc)
+                    (View.Id.to_string vid) eseq reference (fingerprint r)
+                  :: !mismatches;
+              if not (String.equal r.er_cause first.er_cause) then
+                mismatches :=
+                  Printf.sprintf
+                    "total-order: %s and %s disagree on the cause of e-view \
+                     (%s, %d): %s vs %s"
+                    (Proc_id.to_string first.er_proc)
+                    (Proc_id.to_string r.er_proc)
+                    (View.Id.to_string vid) eseq first.er_cause r.er_cause
+                  :: !mismatches;
+              !mismatches)
+            rest)
+    groups
+
+let same_subview ev p q =
+  match (E_view.subview_of p ev, E_view.subview_of q ev) with
+  | Some a, Some b -> E_view.Subview_id.equal a.E_view.sv_id b.E_view.sv_id
+  | _ -> false
+
+let same_svset ev p q =
+  let svset_id_of x =
+    match E_view.subview_of x ev with
+    | Some sv -> Option.map (fun ss -> ss.E_view.ss_id) (E_view.svset_of_subview sv.E_view.sv_id ev)
+    | None -> None
+  in
+  match (svset_id_of p, svset_id_of q) with
+  | Some a, Some b -> E_view.Svset_id.equal a b
+  | _ -> false
+
+(* Property 6.3 at each process: compare its last e-view of the old view
+   with the first e-view of the new one.  Both directions apply to pairs
+   that travelled with the observer (both installed the new view straight
+   from the observer's old view): such pairs keep their subview/sv-set
+   relation and are never silently joined by the view change.  Pairs with a
+   member that detoured through views the observer did not share are
+   exempt in both directions — their subview may legitimately have shrunk
+   away from a laggard, or been grown by an application merge the observer
+   could not see. *)
+let check_structure t =
+  (* prior view of [proc] when it installed [vid], from the oracle *)
+  let prior_of proc vid =
+    Oracle.installs_of t.oracle ~proc
+    |> List.find_map (fun (v, prior) ->
+           if View.Id.equal v.View.id vid then Some prior else None)
+  in
+  let came_from proc ~new_vid ~old_vid =
+    match prior_of proc new_vid with
+    | Some prior -> View.Id.equal prior old_vid
+    | None -> false
+  in
+  let by_proc =
+    Listx.group_by ~key:(fun r -> r.er_proc) ~cmp_key:Proc_id.compare
+      (eview_records t)
+  in
+  List.concat_map
+    (fun (proc, records) ->
+      let rec walk acc = function
+        | prev :: (next :: _ as rest)
+          when not
+                 (View.Id.equal prev.er_eview.E_view.view.View.id
+                    next.er_eview.E_view.view.View.id) ->
+            (* prev is the last record of its view (records are in order). *)
+            let old_ev = prev.er_eview and new_ev = next.er_eview in
+            let survivors =
+              Listx.inter ~cmp:Proc_id.compare (E_view.members old_ev)
+                (E_view.members new_ev)
+            in
+            let new_vid = new_ev.E_view.view.View.id in
+            let old_vid = old_ev.E_view.view.View.id in
+            let errors = ref acc in
+            List.iter
+              (fun p ->
+                List.iter
+                  (fun q ->
+                    if Proc_id.compare p q < 0 then begin
+                      let same_lineage =
+                        came_from p ~new_vid ~old_vid
+                        && came_from q ~new_vid ~old_vid
+                      in
+                      let together_before = same_subview old_ev p q in
+                      let together_after = same_subview new_ev p q in
+                      if same_lineage && together_before && not together_after
+                      then
+                        errors :=
+                          Printf.sprintf
+                            "structure@%s: %s,%s shared a subview in %s but \
+                             not in %s"
+                            (Proc_id.to_string proc) (Proc_id.to_string p)
+                            (Proc_id.to_string q)
+                            (View.Id.to_string old_ev.E_view.view.View.id)
+                            (View.Id.to_string new_ev.E_view.view.View.id)
+                          :: !errors;
+                      if same_lineage && (not together_before) && together_after
+                      then
+                        errors :=
+                          Printf.sprintf
+                            "structure@%s: %s,%s were joined into one subview \
+                             by a view change (%s -> %s)"
+                            (Proc_id.to_string proc) (Proc_id.to_string p)
+                            (Proc_id.to_string q)
+                            (View.Id.to_string old_ev.E_view.view.View.id)
+                            (View.Id.to_string new_ev.E_view.view.View.id)
+                          :: !errors;
+                      let ss_before = same_svset old_ev p q in
+                      let ss_after = same_svset new_ev p q in
+                      if same_lineage && ss_before && not ss_after then
+                        errors :=
+                          Printf.sprintf
+                            "structure@%s: %s,%s shared an sv-set in %s but \
+                             not in %s"
+                            (Proc_id.to_string proc) (Proc_id.to_string p)
+                            (Proc_id.to_string q)
+                            (View.Id.to_string old_ev.E_view.view.View.id)
+                            (View.Id.to_string new_ev.E_view.view.View.id)
+                          :: !errors
+                    end)
+                  survivors)
+              survivors;
+            walk !errors rest
+        | _ :: rest -> walk acc rest
+        | [] -> acc
+      in
+      walk [] records)
+    by_proc

@@ -1,0 +1,38 @@
+(** Fault-injection scripts.
+
+    A script is a time-ordered list of environment actions — partitions,
+    heals, crashes, recoveries.  Clusters interpret the actions; the
+    {!random_script} generator produces reproducible churn campaigns for the
+    randomized property tests and the experiments, always ending with a heal
+    and full recovery followed by a quiet tail so runs can be checked in a
+    stabilized state. *)
+
+type action =
+  | Partition of int list list  (** connectivity components (node ids) *)
+  | Heal
+  | Crash of int                (** kill the incarnation on a node *)
+  | Recover of int              (** start a fresh incarnation on a node *)
+
+type script = (float * action) list
+
+val to_string : action -> string
+
+val schedule :
+  Vs_sim.Sim.t -> script -> apply:(action -> unit) -> unit
+(** Schedule every action at its absolute virtual time. *)
+
+val random_script :
+  Vs_util.Rng.t ->
+  nodes:int list ->
+  start:float ->
+  duration:float ->
+  mean_gap:float ->
+  ?crash_weight:float ->
+  ?partition_weight:float ->
+  unit ->
+  script
+(** Random churn: events spaced exponentially with [mean_gap], drawn among
+    crash / recover / partition / heal with the given weights (defaults 1.0
+    each; recover and heal get natural weights from pending state).  The
+    script keeps at least one node alive, ends by [start +. duration] with
+    a heal and recovery of every crashed node. *)

@@ -1,0 +1,278 @@
+module Proc_id = Vs_net.Proc_id
+module View = Vs_gms.View
+module Listx = Vs_util.Listx
+
+type msg_id = { m_sender : Proc_id.t; m_index : int }
+
+let msg_id_to_string m =
+  Printf.sprintf "%s#%d" (Proc_id.to_string m.m_sender) m.m_index
+
+let compare_msg_id a b = compare (a.m_sender, a.m_index) (b.m_sender, b.m_index)
+
+type t = {
+  sends : (msg_id, [ `Fifo | `Total ]) Hashtbl.t;
+  deliveries : (Proc_id.t, (View.Id.t * msg_id * float) list ref) Hashtbl.t;
+  installs : (Proc_id.t, (View.t * View.Id.t * float) list ref) Hashtbl.t;
+  mutable n_deliveries : int;
+  mutable n_installs : int;
+}
+
+let create () =
+  {
+    sends = Hashtbl.create 256;
+    deliveries = Hashtbl.create 64;
+    installs = Hashtbl.create 64;
+    n_deliveries = 0;
+    n_installs = 0;
+  }
+
+let bucket tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add tbl key r;
+      r
+
+let record_send t ?(order = `Fifo) msg_id = Hashtbl.replace t.sends msg_id order
+
+let record_delivery t ~proc ~vid msg_id ~time =
+  let b = bucket t.deliveries proc in
+  b := (vid, msg_id, time) :: !b;
+  t.n_deliveries <- t.n_deliveries + 1
+
+let record_install t ~proc ~view ~prior ~time =
+  let b = bucket t.installs proc in
+  b := (view, prior, time) :: !b;
+  t.n_installs <- t.n_installs + 1
+
+let procs t =
+  let all =
+    Hashtbl.fold (fun p _ acc -> p :: acc) t.deliveries []
+    @ Hashtbl.fold (fun p _ acc -> p :: acc) t.installs []
+  in
+  Proc_id.sort all
+
+let deliveries_of t ~proc =
+  match Hashtbl.find_opt t.deliveries proc with
+  | Some r -> List.rev_map (fun (vid, m, _) -> (vid, m)) !r
+  | None -> []
+
+let installs_of t ~proc =
+  match Hashtbl.find_opt t.installs proc with
+  | Some r -> List.rev_map (fun (v, prior, _) -> (v, prior)) !r
+  | None -> []
+
+let total_deliveries t = t.n_deliveries
+
+let total_installs t = t.n_installs
+
+let install_counts t =
+  Hashtbl.fold (fun p r acc -> (p, List.length !r) :: acc) t.installs []
+  |> List.sort (fun (a, _) (b, _) -> Proc_id.compare a b)
+
+let distinct_views t =
+  Hashtbl.fold
+    (fun _ r acc ->
+      List.fold_left (fun acc (v, _, _) -> (v.View.id :: acc)) acc !r)
+    t.installs []
+  |> Listx.sorted_set ~cmp:View.Id.compare
+  |> List.length
+
+let delivered_in_view t ~proc ~vid =
+  deliveries_of t ~proc
+  |> List.filter_map (fun (v, m) -> if View.Id.equal v vid then Some m else None)
+  |> Listx.sorted_set ~cmp:compare_msg_id
+
+(* Property 2.1.  Group processes by (prior view, next view) transitions;
+   all members of a group must have identical delivery sets in the prior
+   view. *)
+let check_agreement t =
+  let transitions =
+    List.concat_map
+      (fun p ->
+        List.map (fun (v, prior) -> ((prior, v.View.id), p)) (installs_of t ~proc:p))
+      (procs t)
+  in
+  let groups =
+    Listx.group_by ~key:fst
+      ~cmp_key:(fun (a1, a2) (b1, b2) ->
+        match View.Id.compare a1 b1 with 0 -> View.Id.compare a2 b2 | c -> c)
+      transitions
+  in
+  List.concat_map
+    (fun ((prior, next), members) ->
+      match List.map snd members with
+      | [] | [ _ ] -> []
+      | first :: rest ->
+          let reference = delivered_in_view t ~proc:first ~vid:prior in
+          List.concat_map
+            (fun p ->
+              let mine = delivered_in_view t ~proc:p ~vid:prior in
+              if Listx.equal_set ~cmp:compare_msg_id mine reference then []
+              else
+                [
+                  Printf.sprintf
+                    "agreement: %s and %s survived %s -> %s with different \
+                     delivery sets (%d vs %d messages)"
+                    (Proc_id.to_string first) (Proc_id.to_string p)
+                    (View.Id.to_string prior) (View.Id.to_string next)
+                    (List.length reference) (List.length mine);
+                ])
+            rest)
+    groups
+
+(* Property 2.2: each message delivered in at most one view, globally. *)
+let check_uniqueness t =
+  let table = Hashtbl.create 256 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (vid, m) ->
+          let vids =
+            match Hashtbl.find_opt table m with Some v -> v | None -> []
+          in
+          if not (List.exists (View.Id.equal vid) vids) then
+            Hashtbl.replace table m (vid :: vids))
+        (deliveries_of t ~proc:p))
+    (procs t);
+  Hashtbl.fold
+    (fun m vids acc ->
+      if List.length vids > 1 then
+        Printf.sprintf "uniqueness: %s delivered in %d distinct views: %s"
+          (msg_id_to_string m) (List.length vids)
+          (String.concat "," (List.map View.Id.to_string vids))
+        :: acc
+      else acc)
+    table []
+
+(* Property 2.3: at-most-once per process, only actually-sent messages. *)
+let check_integrity t =
+  List.concat_map
+    (fun p ->
+      let seen = Hashtbl.create 64 in
+      List.concat_map
+        (fun (_, m) ->
+          let dup =
+            if Hashtbl.mem seen m then
+              [
+                Printf.sprintf "integrity: %s delivered %s more than once"
+                  (Proc_id.to_string p) (msg_id_to_string m);
+              ]
+            else []
+          in
+          Hashtbl.replace seen m ();
+          let phantom =
+            if Hashtbl.mem t.sends m then []
+            else
+              [
+                Printf.sprintf "integrity: %s delivered phantom message %s"
+                  (Proc_id.to_string p) (msg_id_to_string m);
+              ]
+          in
+          dup @ phantom)
+        (deliveries_of t ~proc:p))
+    (procs t)
+
+(* Per-sender order of FIFO-class messages: indices from one sender must
+   reach each process in strictly increasing order (gaps allowed —
+   inversions never).  Totally-ordered messages are sequenced through the
+   coordinator's stream and are exempt. *)
+let check_fifo t =
+  let is_fifo m =
+    match Hashtbl.find_opt t.sends m with
+    | Some `Fifo | None -> true
+    | Some `Total -> false
+  in
+  List.concat_map
+    (fun p ->
+      let last = Hashtbl.create 16 in
+      List.concat_map
+        (fun (_, m) ->
+          if not (is_fifo m) then []
+          else begin
+            let prev =
+              Option.value ~default:(-1) (Hashtbl.find_opt last m.m_sender)
+            in
+            Hashtbl.replace last m.m_sender m.m_index;
+            if m.m_index <= prev then
+              [
+                Printf.sprintf "fifo: %s delivered %s after index %d"
+                  (Proc_id.to_string p) (msg_id_to_string m) prev;
+              ]
+            else []
+          end)
+        (deliveries_of t ~proc:p))
+    (procs t)
+
+(* Totally-ordered messages delivered within one view must reach every
+   receiver in a single consistent relative order: for any two processes,
+   the common subsequences agree. *)
+let check_total_order_messages t =
+  let is_total m =
+    match Hashtbl.find_opt t.sends m with Some `Total -> true | _ -> false
+  in
+  let sequences =
+    List.map
+      (fun p ->
+        ( p,
+          List.filter_map
+            (fun (vid, m) -> if is_total m then Some (vid, m) else None)
+            (deliveries_of t ~proc:p) ))
+      (procs t)
+  in
+  let vids =
+    List.concat_map (fun (_, seq) -> List.map fst seq) sequences
+    |> Listx.sorted_set ~cmp:View.Id.compare
+  in
+  List.concat_map
+    (fun vid ->
+      let per_proc =
+        List.filter_map
+          (fun (p, seq) ->
+            let mine =
+              List.filter_map
+                (fun (v, m) -> if View.Id.equal v vid then Some m else None)
+                seq
+            in
+            if mine = [] then None else Some (p, mine))
+          sequences
+      in
+      let rec pairs = function
+        | [] -> []
+        | (p, sp) :: rest ->
+            List.concat_map
+              (fun (q, sq) ->
+                (* positions of common messages must be order-consistent *)
+                let pos seq =
+                  List.mapi (fun i m -> (m, i)) seq
+                in
+                let posp = pos sp and posq = pos sq in
+                let common =
+                  List.filter (fun (m, _) -> List.mem_assoc m posq) posp
+                in
+                let projected_q =
+                  List.map (fun (m, _) -> List.assoc m posq) common
+                in
+                let rec increasing = function
+                  | a :: b :: rest -> a < b && increasing (b :: rest)
+                  | _ -> true
+                in
+                if increasing projected_q then []
+                else
+                  [
+                    Printf.sprintf
+                      "total-order: %s and %s deliver totally-ordered \
+                       messages of %s in different orders"
+                      (Proc_id.to_string p) (Proc_id.to_string q)
+                      (View.Id.to_string vid);
+                  ])
+              rest
+            @ pairs rest
+      in
+      pairs per_proc)
+    vids
+
+let check_all t =
+  check_agreement t @ check_uniqueness t @ check_integrity t @ check_fifo t
+  @ check_total_order_messages t

@@ -1,0 +1,76 @@
+(** Global run oracle: records what every process multicast, delivered and
+    installed, then checks the view-synchrony specification of Section 2
+    against the whole run.
+
+    Message identity is (original sender, per-sender sequence number) —
+    assigned by the cluster at multicast time, independent of the wire
+    protocol, so the checks exercise the implementation rather than trusting
+    it. *)
+
+module Proc_id = Vs_net.Proc_id
+module View = Vs_gms.View
+
+type msg_id = { m_sender : Proc_id.t; m_index : int }
+
+val msg_id_to_string : msg_id -> string
+
+type t
+
+val create : unit -> t
+
+(** {2 Recording} *)
+
+val record_send : t -> ?order:[ `Fifo | `Total ] -> msg_id -> unit
+(** Default [`Fifo]. *)
+
+val record_delivery :
+  t -> proc:Proc_id.t -> vid:View.Id.t -> msg_id -> time:float -> unit
+
+val record_install :
+  t -> proc:Proc_id.t -> view:View.t -> prior:View.Id.t -> time:float -> unit
+(** [prior] is the view the process was in before this install (its initial
+    singleton view id for the first install). *)
+
+(** {2 Checks — each returns human-readable violations, empty when the
+    property holds} *)
+
+val check_agreement : t -> string list
+(** Property 2.1: processes that survive from one view to the same next view
+    delivered the same set of messages in the old view. *)
+
+val check_uniqueness : t -> string list
+(** Property 2.2: across all processes, each message was delivered in at
+    most one view. *)
+
+val check_integrity : t -> string list
+(** Property 2.3: at-most-once delivery per process, and only of messages
+    that were actually multicast. *)
+
+val check_fifo : t -> string list
+(** Per-sender delivery order of FIFO-class messages respects the multicast
+    order (gaps allowed only across failures, never inversions).  Messages
+    sent totally ordered are exempt: they are sequenced through the
+    coordinator and carry no cross-class ordering promise — the paper
+    imposes no ordering conditions at all (Section 2). *)
+
+val check_total_order_messages : t -> string list
+(** Messages sent with total order and delivered within one view reach all
+    their receivers in one consistent relative order. *)
+
+val check_all : t -> string list
+
+(** {2 Introspection} *)
+
+val deliveries_of : t -> proc:Proc_id.t -> (View.Id.t * msg_id) list
+
+val installs_of : t -> proc:Proc_id.t -> (View.t * View.Id.t) list
+(** (view, prior) pairs in order. *)
+
+val total_deliveries : t -> int
+
+val total_installs : t -> int
+
+val install_counts : t -> (Proc_id.t * int) list
+(** View installations per process identity, sorted by process. *)
+
+val distinct_views : t -> int

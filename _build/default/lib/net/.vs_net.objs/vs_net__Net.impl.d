@@ -1,0 +1,1 @@
+lib/net/net.pp.ml: Hashtbl List Option Printf Proc_id String Vs_sim Vs_util

@@ -1,0 +1,1 @@
+lib/net/net.pp.mli: Proc_id Vs_sim

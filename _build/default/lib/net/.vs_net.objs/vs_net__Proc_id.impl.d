@@ -1,0 +1,1 @@
+lib/net/proc_id.pp.ml: List Map Ppx_deriving_runtime Printf Set Vs_util

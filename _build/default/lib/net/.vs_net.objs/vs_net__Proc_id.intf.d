@@ -1,0 +1,1 @@
+lib/net/proc_id.pp.mli: Map Ppx_deriving_runtime Set

@@ -1,0 +1,211 @@
+module Sim = Vs_sim.Sim
+module Rng = Vs_util.Rng
+
+type 'm envelope = {
+  src : Proc_id.t;
+  dst : Proc_id.t;
+  sent_at : float;
+  payload : 'm;
+}
+
+type config = {
+  delay_min : float;
+  delay_max : float;
+  drop_prob : float;
+  dup_prob : float;
+  byte_delay : float;
+}
+
+let default_config =
+  {
+    delay_min = 0.001;
+    delay_max = 0.010;
+    drop_prob = 0.;
+    dup_prob = 0.;
+    byte_delay = 0.;
+  }
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  duplicated : int;
+  bytes_sent : int;
+}
+
+type 'm t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  config : config;
+  size_of : 'm -> int;
+  handlers : (Proc_id.t, 'm envelope -> unit) Hashtbl.t;
+  node_live : (int, Proc_id.t) Hashtbl.t; (* node -> live incarnation *)
+  node_next_inc : (int, int) Hashtbl.t;   (* node -> next unused incarnation *)
+  mutable component : int -> int;         (* node -> component id *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable bytes_sent : int;
+}
+
+let create ?(size_of = fun _ -> 1) sim config =
+  if config.delay_min < 0. || config.delay_max < config.delay_min then
+    invalid_arg "Net.create: bad delay bounds";
+  {
+    sim;
+    rng = Sim.fork_rng sim;
+    config;
+    size_of;
+    handlers = Hashtbl.create 64;
+    node_live = Hashtbl.create 64;
+    node_next_inc = Hashtbl.create 64;
+    component = (fun _ -> 0);
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    duplicated = 0;
+    bytes_sent = 0;
+  }
+
+let is_live t p = Hashtbl.mem t.handlers p
+
+let live_on_node t node = Hashtbl.find_opt t.node_live node
+
+let fresh_incarnation t node =
+  let inc = Option.value ~default:0 (Hashtbl.find_opt t.node_next_inc node) in
+  Proc_id.make ~node ~inc
+
+let register t p handler =
+  (match live_on_node t p.Proc_id.node with
+  | Some q ->
+      invalid_arg
+        (Printf.sprintf "Net.register: node %d already hosts live %s"
+           p.Proc_id.node (Proc_id.to_string q))
+  | None -> ());
+  let next = Option.value ~default:0 (Hashtbl.find_opt t.node_next_inc p.Proc_id.node) in
+  if p.Proc_id.inc < next then
+    invalid_arg
+      (Printf.sprintf "Net.register: stale incarnation %s (next is %d)"
+         (Proc_id.to_string p) next);
+  Hashtbl.replace t.node_next_inc p.Proc_id.node (p.Proc_id.inc + 1);
+  Hashtbl.replace t.handlers p handler;
+  Hashtbl.replace t.node_live p.Proc_id.node p
+
+let crash t p =
+  if is_live t p then begin
+    Hashtbl.remove t.handlers p;
+    (match live_on_node t p.Proc_id.node with
+    | Some q when Proc_id.equal q p -> Hashtbl.remove t.node_live p.Proc_id.node
+    | Some _ | None -> ());
+    Sim.record t.sim ~component:"net" ("crash " ^ Proc_id.to_string p)
+  end
+
+let set_partition t components =
+  let table = Hashtbl.create 16 in
+  List.iteri
+    (fun comp nodes -> List.iter (fun node -> Hashtbl.replace table node comp) nodes)
+    components;
+  (* Unmentioned nodes get a unique negative component — isolated. *)
+  t.component <-
+    (fun node ->
+      match Hashtbl.find_opt table node with
+      | Some c -> c
+      | None -> -(node + 1));
+  Sim.record t.sim ~component:"net"
+    (Printf.sprintf "partition [%s]"
+       (String.concat " | "
+          (List.map
+             (fun nodes -> String.concat "," (List.map string_of_int nodes))
+             components)))
+
+let heal t =
+  t.component <- (fun _ -> 0);
+  Sim.record t.sim ~component:"net" "heal"
+
+let connected t a b = a = b || t.component a = t.component b
+
+let sample_delay t ~bytes =
+  Rng.uniform t.rng t.config.delay_min t.config.delay_max
+  +. (t.config.byte_delay *. float_of_int bytes)
+
+(* Delivery is re-checked at arrival time: the destination incarnation must
+   still be live and the nodes still connected, so a partition installed
+   while a message is in flight kills it — the asynchronous-link model the
+   paper assumes. *)
+let deliver_later ?(extra_copy = false) t env =
+  let bytes = t.size_of env.payload in
+  let deliver () =
+    let ok =
+      Hashtbl.mem t.handlers env.dst
+      && connected t env.src.Proc_id.node env.dst.Proc_id.node
+    in
+    if ok then begin
+      t.delivered <- t.delivered + 1;
+      (Hashtbl.find t.handlers env.dst) env
+    end
+    else t.dropped <- t.dropped + 1
+  in
+  ignore (Sim.after t.sim (sample_delay t ~bytes) deliver);
+  if extra_copy then begin
+    t.duplicated <- t.duplicated + 1;
+    ignore (Sim.after t.sim (sample_delay t ~bytes) deliver)
+  end
+
+let send_to t ~src ~dst payload =
+  t.sent <- t.sent + 1;
+  t.bytes_sent <- t.bytes_sent + t.size_of payload;
+  let self = Proc_id.equal src dst in
+  if not (is_live t src) then t.dropped <- t.dropped + 1
+  else if (not self) && not (connected t src.Proc_id.node dst.Proc_id.node) then
+    t.dropped <- t.dropped + 1
+  else if (not self) && Rng.bool t.rng t.config.drop_prob then
+    t.dropped <- t.dropped + 1
+  else
+    let env = { src; dst; sent_at = Sim.now t.sim; payload } in
+    let extra_copy = (not self) && Rng.bool t.rng t.config.dup_prob in
+    deliver_later ~extra_copy t env
+
+let send t ~src ~dst payload = send_to t ~src ~dst payload
+
+let send_node t ~src ~dst_node payload =
+  (* Address the node: resolve the live incarnation at delivery time by
+     re-resolving through a fresh lookup when the message lands. We model it
+     by resolving now and also accepting the case where a *newer* incarnation
+     appears before arrival: resolve at delivery. *)
+  t.sent <- t.sent + 1;
+  t.bytes_sent <- t.bytes_sent + t.size_of payload;
+  if not (is_live t src) then t.dropped <- t.dropped + 1
+  else if
+    src.Proc_id.node <> dst_node && not (connected t src.Proc_id.node dst_node)
+  then t.dropped <- t.dropped + 1
+  else if src.Proc_id.node <> dst_node && Rng.bool t.rng t.config.drop_prob then
+    t.dropped <- t.dropped + 1
+  else begin
+    let sent_at = Sim.now t.sim in
+    let bytes = t.size_of payload in
+    let deliver () =
+      match live_on_node t dst_node with
+      | Some dst when connected t src.Proc_id.node dst_node ->
+          t.delivered <- t.delivered + 1;
+          (Hashtbl.find t.handlers dst) { src; dst; sent_at; payload }
+      | Some _ | None -> t.dropped <- t.dropped + 1
+    in
+    ignore (Sim.after t.sim (sample_delay t ~bytes) deliver)
+  end
+
+let stats t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    duplicated = t.duplicated;
+    bytes_sent = t.bytes_sent;
+  }
+
+let reset_stats t =
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.dropped <- 0;
+  t.duplicated <- 0;
+  t.bytes_sent <- 0

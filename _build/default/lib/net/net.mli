@@ -1,0 +1,94 @@
+(** Simulated asynchronous point-to-point network.
+
+    Models the paper's Section 2 environment: messages between live,
+    connected processes arrive after an unpredictable (sampled) delay;
+    messages to crashed incarnations or across a partition boundary are lost;
+    links may drop or duplicate.  Self-addressed messages are exempt from
+    loss and partitions but still go through the event queue, so a process
+    never re-enters its own handlers synchronously.
+
+    The network is polymorphic in the payload ['m]; the protocol stack
+    defines one wire-message variant and instantiates a single ['m t] per
+    simulation. *)
+
+type 'm t
+
+type 'm envelope = {
+  src : Proc_id.t;
+  dst : Proc_id.t;
+  sent_at : float;
+  payload : 'm;
+}
+
+type config = {
+  delay_min : float;  (** lower bound of the uniform per-message delay *)
+  delay_max : float;  (** upper bound *)
+  drop_prob : float;  (** independent loss probability per message *)
+  dup_prob : float;   (** probability a delivered message is duplicated *)
+  byte_delay : float; (** serialization delay per byte (1 / bandwidth); the
+                          per-message delay grows by [size_of msg] times
+                          this, so bulk transfers cost what they should *)
+}
+
+val default_config : config
+(** 1–10 ms delay, no loss, no duplication, infinite bandwidth. *)
+
+val create : ?size_of:('m -> int) -> Vs_sim.Sim.t -> config -> 'm t
+(** [size_of] gives a nominal byte size per payload for traffic accounting
+    (defaults to 1 per message). *)
+
+(** {2 Process lifecycle} *)
+
+val register : 'm t -> Proc_id.t -> ('m envelope -> unit) -> unit
+(** Bring an incarnation online with its receive handler.  Raises
+    [Invalid_argument] if a live incarnation already occupies the node or if
+    this incarnation existed before. *)
+
+val crash : 'm t -> Proc_id.t -> unit
+(** Kill an incarnation: its handler is removed and in-flight messages to it
+    are lost.  Idempotent. *)
+
+val is_live : 'm t -> Proc_id.t -> bool
+
+val live_on_node : 'm t -> int -> Proc_id.t option
+
+val fresh_incarnation : 'm t -> int -> Proc_id.t
+(** Next unused incarnation identifier for a node (does not register it). *)
+
+(** {2 Partitions} *)
+
+val set_partition : 'm t -> int list list -> unit
+(** Install a connectivity oracle: each inner list is a component of node
+    ids; unmentioned nodes become singletons.  Messages crossing component
+    boundaries — checked both at send and at delivery time — are lost. *)
+
+val heal : 'm t -> unit
+(** Remove all partitions (single component). *)
+
+val connected : 'm t -> int -> int -> bool
+
+(** {2 Sending} *)
+
+val send : 'm t -> src:Proc_id.t -> dst:Proc_id.t -> 'm -> unit
+(** Fire-and-forget unicast to a specific incarnation. Silently dropped if
+    the source is dead, the destination incarnation is not (or no longer)
+    live at delivery time, or the nodes are disconnected. *)
+
+val send_node : 'm t -> src:Proc_id.t -> dst_node:int -> 'm -> unit
+(** Unicast to whatever incarnation is live on [dst_node] at delivery time —
+    how heartbeats find recovered processes without knowing their new
+    identifier. *)
+
+(** {2 Accounting} *)
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;      (** lost to links, partitions or dead endpoints *)
+  duplicated : int;
+  bytes_sent : int;
+}
+
+val stats : 'm t -> stats
+
+val reset_stats : 'm t -> unit

@@ -1,0 +1,26 @@
+type t = { node : int; inc : int } [@@deriving eq, ord, show]
+
+let make ~node ~inc =
+  if node < 0 || inc < 0 then invalid_arg "Proc_id.make: negative component";
+  { node; inc }
+
+let initial node = make ~node ~inc:0
+
+let to_string t =
+  if t.inc = 0 then Printf.sprintf "p%d" t.node
+  else Printf.sprintf "p%d.%d" t.node t.inc
+
+let sort ids = Vs_util.Listx.sorted_set ~cmp:compare ids
+
+let min_member = function
+  | [] -> None
+  | ids -> Some (List.fold_left min (List.hd ids) ids)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: List Printf Trace Vs_util

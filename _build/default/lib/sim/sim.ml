@@ -1,0 +1,111 @@
+module Rng = Vs_util.Rng
+module Heap = Vs_util.Heap
+
+type handle = {
+  fire_at : float;
+  seq : int;
+  thunk : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable processed : int;
+  queue : handle Heap.t;
+  root_rng : Rng.t;
+  tracer : Trace.t;
+}
+
+let compare_handle a b =
+  let c = compare a.fire_at b.fire_at in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ?(seed = 1L) () =
+  {
+    clock = 0.;
+    next_seq = 0;
+    processed = 0;
+    queue = Heap.create ~cmp:compare_handle;
+    root_rng = Rng.create seed;
+    tracer = Trace.create ();
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let fork_rng t = Rng.split t.root_rng
+
+let trace t = t.tracer
+
+let record t ~component message =
+  Trace.record t.tracer ~time:t.clock ~component message
+
+let at t fire_at thunk =
+  if fire_at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.at: time %g is in the past (now %g)" fire_at t.clock);
+  let h = { fire_at; seq = t.next_seq; thunk; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.queue h;
+  h
+
+let after t delay thunk =
+  if delay < 0. then invalid_arg "Sim.after: negative delay";
+  at t (t.clock +. delay) thunk
+
+let cancel h =
+  if not h.cancelled then h.cancelled <- true
+
+(* Cancelled entries are skipped lazily on pop, so the pending count must be
+   recomputed from the heap contents. *)
+let pending t =
+  List.length (List.filter (fun h -> not h.cancelled) (Heap.to_list t.queue))
+
+let events_processed t = t.processed
+
+type stop_reason = Quiescent | Reached_until | Event_budget
+
+let step t =
+  let rec pop () =
+    match Heap.pop t.queue with
+    | None -> None
+    | Some h when h.cancelled -> pop ()
+    | Some h -> Some h
+  in
+  match pop () with
+  | None -> false
+  | Some h ->
+      t.clock <- h.fire_at;
+      t.processed <- t.processed + 1;
+      h.thunk ();
+      true
+
+let run ?until ?max_events t =
+  let budget = match max_events with Some n -> n | None -> max_int in
+  let horizon = match until with Some u -> u | None -> infinity in
+  let rec loop remaining =
+    if remaining <= 0 then Event_budget
+    else
+      let next_time =
+        let rec peek () =
+          match Heap.peek t.queue with
+          | Some h when h.cancelled ->
+              ignore (Heap.pop t.queue);
+              peek ()
+          | Some h -> Some h.fire_at
+          | None -> None
+        in
+        peek ()
+      in
+      match next_time with
+      | None -> Quiescent
+      | Some ft when ft > horizon ->
+          t.clock <- max t.clock horizon;
+          Reached_until
+      | Some _ ->
+          ignore (step t);
+          loop (remaining - 1)
+  in
+  loop budget

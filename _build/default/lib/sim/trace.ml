@@ -1,0 +1,23 @@
+type entry = { time : float; component : string; message : string }
+
+type t = { mutable rev_entries : entry list; mutable count : int }
+
+let create () = { rev_entries = []; count = 0 }
+
+let record t ~time ~component message =
+  t.rev_entries <- { time; component; message } :: t.rev_entries;
+  t.count <- t.count + 1
+
+let entries t = List.rev t.rev_entries
+
+let by_component t component =
+  List.filter (fun e -> String.equal e.component component) (entries t)
+
+let length t = t.count
+
+let clear t =
+  t.rev_entries <- [];
+  t.count <- 0
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%10.4f] %-8s %s" e.time e.component e.message

@@ -1,0 +1,28 @@
+(** Append-only trace of simulation events.
+
+    Protocol layers record interesting transitions (view installs, mode
+    changes, message drops) here; tests and the experiment harness read the
+    trace back as the ground-truth chronicle of a run. *)
+
+type entry = {
+  time : float;        (** virtual time of the event *)
+  component : string;  (** e.g. "vsync", "fd", "net" *)
+  message : string;
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> time:float -> component:string -> string -> unit
+
+val entries : t -> entry list
+(** All entries, oldest first. *)
+
+val by_component : t -> string -> entry list
+
+val length : t -> int
+
+val clear : t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit

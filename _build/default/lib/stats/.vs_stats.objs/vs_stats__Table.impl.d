@@ -1,0 +1,1 @@
+lib/stats/table.ml: Buffer List Printf String

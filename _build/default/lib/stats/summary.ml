@@ -1,0 +1,43 @@
+type t = { mutable rev_samples : float list; mutable n : int; mutable sum : float }
+
+let create () = { rev_samples = []; n = 0; sum = 0. }
+
+let add t x =
+  t.rev_samples <- x :: t.rev_samples;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x
+
+let count t = t.n
+
+let total t = t.sum
+
+let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+
+let min_value t = List.fold_left min infinity t.rev_samples
+
+let max_value t = List.fold_left max neg_infinity t.rev_samples
+
+let percentile t p =
+  if t.n = 0 then 0.
+  else begin
+    let sorted = List.sort compare t.rev_samples in
+    let rank =
+      int_of_float (ceil (p *. float_of_int t.n)) - 1
+      |> max 0
+      |> min (t.n - 1)
+    in
+    List.nth sorted rank
+  end
+
+let stddev t =
+  if t.n < 2 then 0.
+  else begin
+    let m = mean t in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. t.rev_samples in
+    sqrt (sq /. float_of_int (t.n - 1))
+  end
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t

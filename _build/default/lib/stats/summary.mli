@@ -1,0 +1,27 @@
+(** Descriptive statistics over float samples. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val total : t -> float
+
+val mean : t -> float
+(** 0 when empty. *)
+
+val min_value : t -> float
+(** +inf when empty. *)
+
+val max_value : t -> float
+(** -inf when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t 0.95]; nearest-rank on the sorted samples, 0 when empty. *)
+
+val stddev : t -> float
+
+val of_list : float list -> t

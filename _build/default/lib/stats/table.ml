@@ -1,0 +1,56 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rev_rows : string list list;
+}
+
+let create ~title ~columns = { title; columns; rev_rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns (%s)"
+         (List.length row) (List.length t.columns) t.title);
+  t.rev_rows <- row :: t.rev_rows
+
+let add_rows t rows = List.iter (add_row t) rows
+
+let to_string t =
+  let rows = List.rev t.rev_rows in
+  let widths =
+    List.fold_left
+      (fun widths row -> List.map2 (fun w cell -> max w (String.length cell)) widths row)
+      (List.map String.length t.columns)
+      rows
+  in
+  let rec rstrip s =
+    let n = String.length s in
+    if n > 0 && s.[n - 1] = ' ' then rstrip (String.sub s 0 (n - 1)) else s
+  in
+  let render_row row =
+    rstrip
+      (String.concat "  "
+         (List.map2
+            (fun w cell -> cell ^ String.make (w - String.length cell) ' ')
+            widths row))
+  in
+  let header = render_row t.columns in
+  let rule = String.make (String.length header) '-' in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ "\n");
+  Buffer.add_string buf (header ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (to_string t);
+  print_newline ()
+
+let fint = string_of_int
+
+let ffloat ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let fpct x = Printf.sprintf "%.1f%%" (100. *. x)
+
+let fbool b = if b then "yes" else "no"

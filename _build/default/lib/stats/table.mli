@@ -1,0 +1,30 @@
+(** Plain-text result tables.
+
+    Every experiment in bench/main.ml renders its rows through one of these,
+    so the output in bench_output.txt lines up with the tables promised in
+    EXPERIMENTS.md. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Must match the column count. *)
+
+val add_rows : t -> string list list -> unit
+
+val to_string : t -> string
+
+val print : t -> unit
+(** Render to stdout with a trailing blank line. *)
+
+(** {2 Cell formatting helpers} *)
+
+val fint : int -> string
+
+val ffloat : ?decimals:int -> float -> string
+
+val fpct : float -> string
+(** A ratio in [0,1] rendered as a percentage. *)
+
+val fbool : bool -> string

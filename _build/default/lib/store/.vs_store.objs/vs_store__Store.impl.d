@@ -1,0 +1,1 @@
+lib/store/store.ml: Hashtbl List String

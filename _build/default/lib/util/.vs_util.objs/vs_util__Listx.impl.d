@@ -1,0 +1,1 @@
+lib/util/listx.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/util/vclock.ml: Format Map

@@ -1,0 +1,1 @@
+lib/util/vclock.mli: Format Map

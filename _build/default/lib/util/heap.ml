@@ -1,0 +1,74 @@
+type 'a t = {
+  mutable data : 'a option array;
+  mutable size : int;
+  cmp : 'a -> 'a -> int;
+}
+
+let create ~cmp = { data = Array.make 16 None; size = 0; cmp }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let get t i =
+  match t.data.(i) with
+  | Some x -> x
+  | None -> assert false
+
+let grow t =
+  let data = Array.make (2 * Array.length t.data) None in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp (get t i) (get t parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < t.size && t.cmp (get t l) (get t i) < 0 then l else i in
+  let smallest =
+    if r < t.size && t.cmp (get t r) (get t smallest) < 0 then r else smallest
+  in
+  if smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(smallest);
+    t.data.(smallest) <- tmp;
+    sift_down t smallest
+  end
+
+let push t x =
+  if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- Some x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else t.data.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let root = t.data.(0) in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    t.data.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    root
+  end
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) None;
+  t.size <- 0
+
+let to_list t =
+  let rec loop acc i =
+    if i < 0 then acc else loop (get t i :: acc) (i - 1)
+  in
+  loop [] (t.size - 1)

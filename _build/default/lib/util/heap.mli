@@ -1,0 +1,26 @@
+(** Imperative binary min-heap.
+
+    The comparison function is fixed at creation.  Used as the simulator's
+    event queue, so [pop] must be stable with respect to the comparison:
+    callers encode tie-breaking (e.g. an insertion sequence number) in the
+    elements themselves. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element, or [None] if empty. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order (heap order, not sorted). *)

@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic choice in the simulator draws from one of these
+    generators, so a run is fully reproducible from its seed.  [split]
+    derives an independent stream, which lets components own private
+    generators without perturbing each other's sequences. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. *)
+
+val copy : t -> t
+(** Duplicate the generator state (both copies produce the same stream). *)
+
+val split : t -> t
+(** Derive a statistically independent generator, advancing [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [lo, hi). *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] samples an exponential with the given mean. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. Raises [Invalid_argument] on []. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Uniform random permutation. *)

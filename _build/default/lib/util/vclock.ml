@@ -1,0 +1,30 @@
+type ordering = Equal | Before | After | Concurrent
+
+module Make (K : Map.OrderedType) = struct
+  module M = Map.Make (K)
+
+  type t = int M.t
+
+  let empty = M.empty
+
+  let get k t = match M.find_opt k t with Some v -> v | None -> 0
+
+  let tick k t = M.add k (get k t + 1) t
+
+  let merge a b = M.union (fun _ x y -> Some (max x y)) a b
+
+  let leq a b = M.for_all (fun k v -> v <= get k b) a
+
+  let compare_causal a b =
+    match (leq a b, leq b a) with
+    | true, true -> Equal
+    | true, false -> Before
+    | false, true -> After
+    | false, false -> Concurrent
+
+  let to_list t = M.bindings t
+
+  let pp pp_key ppf t =
+    let pp_entry ppf (k, v) = Format.fprintf ppf "%a:%d" pp_key k v in
+    Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") pp_entry) (M.bindings t)
+end

@@ -1,0 +1,31 @@
+(** Vector clocks over an ordered key type.
+
+    Used to timestamp replica state in the mergeable key-value store
+    (last-writer-wins needs a causality check to tell divergence from
+    dominance) and in the causal-cut tests for Property 6.2. *)
+
+type ordering = Equal | Before | After | Concurrent
+
+module Make (K : Map.OrderedType) : sig
+  type t
+
+  val empty : t
+
+  val tick : K.t -> t -> t
+  (** Increment [K]'s component. *)
+
+  val get : K.t -> t -> int
+  (** Component value, 0 if absent. *)
+
+  val merge : t -> t -> t
+  (** Component-wise maximum. *)
+
+  val leq : t -> t -> bool
+  (** [leq a b] iff every component of [a] is <= the one in [b]. *)
+
+  val compare_causal : t -> t -> ordering
+
+  val to_list : t -> (K.t * int) list
+
+  val pp : (Format.formatter -> K.t -> unit) -> Format.formatter -> t -> unit
+end

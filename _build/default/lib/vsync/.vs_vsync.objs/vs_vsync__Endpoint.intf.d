@@ -1,0 +1,1 @@
+lib/vsync/endpoint.mli: Vs_fd Vs_gms Vs_net Vs_sim Wire

@@ -1,0 +1,1 @@
+lib/vsync/wire.ml: List Vs_gms Vs_net

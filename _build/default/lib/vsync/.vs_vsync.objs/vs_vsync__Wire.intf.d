@@ -1,0 +1,1 @@
+lib/vsync/wire.mli: Vs_gms Vs_net

@@ -1,0 +1,771 @@
+module Sim = Vs_sim.Sim
+module Net = Vs_net.Net
+module Proc_id = Vs_net.Proc_id
+module Fd = Vs_fd.Fd
+module View = Vs_gms.View
+module Estimator = Vs_gms.Estimator
+module Listx = Vs_util.Listx
+
+type order = Fifo | Total | Causal
+
+type config = {
+  fd : Fd.config;
+  stability : float;
+  nag_period : float;
+  flush_timeout : float;
+  nack_delay : float;
+  one_at_a_time : bool;
+  stability_interval : float option;
+}
+
+let default_config =
+  {
+    fd = Fd.default_config;
+    stability = 0.150;
+    nag_period = 0.200;
+    flush_timeout = 0.300;
+    nack_delay = 0.025;
+    one_at_a_time = false;
+    stability_interval = Some 0.050;
+  }
+
+type 'ann view_event = {
+  view : View.t;
+  annotations : (Proc_id.t * 'ann option) list;
+  priors : (Proc_id.t * View.Id.t) list;
+}
+
+type ('a, 'ann) callbacks = {
+  on_view : 'ann view_event -> unit;
+  on_message : sender:Proc_id.t -> 'a -> unit;
+}
+
+type stats = {
+  views_installed : int;
+  proposals_started : int;
+  data_sent : int;
+  delivered : int;
+  sync_delivered : int;
+  stale_dropped : int;
+  to_dropped : int;
+  nacks_sent : int;
+  retransmits : int;
+  stabilized : int;
+}
+
+(* Per-sender incoming stream within the current view.  [log] keeps every
+   data message seen (delivered or not): it is what the flush reports.
+   [next] is the lowest undelivered sequence number. *)
+type 'a stream = {
+  mutable next : int;
+  buffer : (int, 'a Wire.data) Hashtbl.t;
+  log : (int, 'a Wire.data) Hashtbl.t;
+  mutable nack_armed : bool;
+}
+
+(* What a member reported in its flush ack: the view it comes from, its
+   annotation, and every data message of that view it has seen. *)
+type ('a, 'ann) ack = {
+  a_from : View.Id.t;
+  a_ann : 'ann option;
+  a_seen : 'a Wire.data list;
+}
+
+type ('a, 'ann) proposal = {
+  p_vid : View.Id.t;
+  p_members : Proc_id.t list;
+  p_acks : (Proc_id.t, ('a, 'ann) ack) Hashtbl.t;
+  mutable p_timer : Sim.handle option;
+}
+
+type phase = Active | Flushing of View.Id.t
+
+type ('a, 'ann) t = {
+  sim : Sim.t;
+  net : ('a, 'ann) Wire.t Net.t;
+  me : Proc_id.t;
+  config : config;
+  mutable callbacks : ('a, 'ann) callbacks;
+  mutable view : View.t;
+  mutable phase : phase;
+  mutable acked : View.Id.t;  (* highest proposal acked / view installed *)
+  mutable max_epoch : int;
+  mutable send_seq : int;
+  mutable to_seq : int;  (* my next total-order request number *)
+  (* coordinator side: per-origin relay sequencing *)
+  to_streams : (Proc_id.t, int ref * (int, 'a) Hashtbl.t) Hashtbl.t;
+  streams : (Proc_id.t, 'a stream) Hashtbl.t;
+  mutable pending_out : (order * 'a) list;  (* queued while flushing *)
+  mutable stash : 'a Wire.data list;
+      (* data for the view being installed that raced ahead of the Install *)
+  mutable stash_to : (Proc_id.t * int * 'a) list;
+      (* total-order requests for the view being installed that reached us —
+         its future coordinator — before our own Install *)
+  mutable ann : 'ann option;
+  mutable proposal : ('a, 'ann) proposal option;
+  mutable fd : Fd.t option;
+  mutable est : Estimator.t option;
+  mutable alive : bool;
+  (* stability tracking: each member's latest delivered-prefix vector *)
+  stable_vectors : (Proc_id.t, (Proc_id.t * int) list) Hashtbl.t;
+  (* stats *)
+  mutable s_views : int;
+  mutable s_proposals : int;
+  mutable s_data_sent : int;
+  mutable s_delivered : int;
+  mutable s_sync_delivered : int;
+  mutable s_stale : int;
+  mutable s_to_dropped : int;
+  mutable s_nacks : int;
+  mutable s_retransmits : int;
+  mutable s_stabilized : int;
+}
+
+let me t = t.me
+
+let view t = t.view
+
+let is_blocked t = match t.phase with Flushing _ -> true | Active -> false
+
+let is_alive t = t.alive
+
+let stats t =
+  {
+    views_installed = t.s_views;
+    proposals_started = t.s_proposals;
+    data_sent = t.s_data_sent;
+    delivered = t.s_delivered;
+    sync_delivered = t.s_sync_delivered;
+    stale_dropped = t.s_stale;
+    to_dropped = t.s_to_dropped;
+    nacks_sent = t.s_nacks;
+    retransmits = t.s_retransmits;
+    stabilized = t.s_stabilized;
+  }
+
+let set_annotation t ann = t.ann <- ann
+
+let log_event t msg =
+  Sim.record t.sim ~component:"vsync"
+    (Printf.sprintf "%s %s" (Proc_id.to_string t.me) msg)
+
+let unicast t dst payload = Net.send t.net ~src:t.me ~dst payload
+
+let stream_for t sender =
+  match Hashtbl.find_opt t.streams sender with
+  | Some s -> s
+  | None ->
+      let s =
+        { next = 0; buffer = Hashtbl.create 8; log = Hashtbl.create 8; nack_armed = false }
+      in
+      Hashtbl.add t.streams sender s;
+      s
+
+(* The view's stability floor for a sender: the minimum delivered prefix
+   reported by every current member (0 until everyone has reported).
+   Messages below it are delivered everywhere, so flush reports can omit
+   them and logs can drop them. *)
+let stability_floor t sender =
+  List.fold_left
+    (fun floor member ->
+      let reported =
+        match Hashtbl.find_opt t.stable_vectors member with
+        | Some vector -> (
+            match List.assoc_opt sender vector with Some n -> n | None -> 0)
+        | None -> 0
+      in
+      min floor reported)
+    max_int t.view.View.members
+
+(* Everything this process has seen (delivered or buffered) in the current
+   view above the stability floor, in canonical (sender, seq) order — the
+   flush report. *)
+let all_seen t =
+  Hashtbl.fold
+    (fun sender s acc ->
+      let floor =
+        match t.config.stability_interval with
+        | Some _ -> stability_floor t sender
+        | None -> 0
+      in
+      Hashtbl.fold
+        (fun seq d acc -> if seq >= floor then d :: acc else acc)
+        s.log acc)
+    t.streams []
+  |> List.sort Wire.compare_data
+
+let deliver_user t (d : 'a Wire.data) =
+  t.s_delivered <- t.s_delivered + 1;
+  match d.body with
+  | Wire.User u -> t.callbacks.on_message ~sender:d.sender u
+  | Wire.Relay { orig; user } -> t.callbacks.on_message ~sender:orig user
+  | Wire.Causal { user; _ } -> t.callbacks.on_message ~sender:d.sender user
+
+(* A causal message is deliverable once this process's delivered prefixes
+   dominate the sender's at multicast time. *)
+let causally_ready t (d : 'a Wire.data) =
+  match d.Wire.body with
+  | Wire.User _ | Wire.Relay _ -> true
+  | Wire.Causal { deps; _ } ->
+      List.for_all
+        (fun (q, n) ->
+          Proc_id.equal q d.Wire.sender
+          ||
+          match Hashtbl.find_opt t.streams q with
+          | Some s -> s.next >= n
+          | None -> n <= 0)
+        deps
+
+(* Deliver buffered messages in FIFO order per stream while contiguous and
+   causally ready; a delivery can unblock other streams, so iterate to a
+   fixpoint. *)
+let drain_all t =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Hashtbl.iter
+      (fun _ s ->
+        let continue_stream = ref true in
+        while !continue_stream do
+          match Hashtbl.find_opt s.buffer s.next with
+          | Some d when causally_ready t d ->
+              Hashtbl.remove s.buffer s.next;
+              s.next <- s.next + 1;
+              deliver_user t d;
+              progress := true
+          | Some _ | None -> continue_stream := false
+        done)
+      t.streams
+  done
+
+let rec arm_nack t sender s =
+  if (not s.nack_armed) && Hashtbl.length s.buffer > 0 then begin
+    s.nack_armed <- true;
+    let vid_at_arm = t.view.View.id in
+    ignore
+      (Sim.after t.sim t.config.nack_delay (fun () ->
+           s.nack_armed <- false;
+           if
+             t.alive
+             && View.Id.equal t.view.View.id vid_at_arm
+             && Hashtbl.length s.buffer > 0
+           then begin
+             let max_buffered =
+               Hashtbl.fold (fun seq _ acc -> max seq acc) s.buffer (-1)
+             in
+             let missing = ref [] in
+             for seq = max_buffered - 1 downto s.next do
+               if not (Hashtbl.mem s.log seq) then missing := seq :: !missing
+             done;
+             if !missing <> [] then begin
+               t.s_nacks <- t.s_nacks + 1;
+               unicast t sender
+                 (Wire.Nack { vid = vid_at_arm; sender; missing = !missing })
+             end;
+             arm_nack t sender s
+           end))
+  end
+
+let members_iter t f = List.iter f t.view.View.members
+
+let send_data t body =
+  let d =
+    { Wire.vid = t.view.View.id; sender = t.me; seq = t.send_seq; body }
+  in
+  t.send_seq <- t.send_seq + 1;
+  t.s_data_sent <- t.s_data_sent + 1;
+  members_iter t (fun dst -> unicast t dst (Wire.Data d))
+
+let rec multicast t ?(order = Fifo) payload =
+  if t.alive then
+    match t.phase with
+    | Flushing _ -> t.pending_out <- t.pending_out @ [ (order, payload) ]
+    | Active -> (
+        match order with
+        | Fifo -> send_data t (Wire.User payload)
+        | Causal ->
+            let deps =
+              Hashtbl.fold
+                (fun sender s acc ->
+                  if s.next > 0 then (sender, s.next) :: acc else acc)
+                t.streams []
+            in
+            send_data t (Wire.Causal { deps; user = payload })
+        | Total ->
+            let coord = View.coordinator t.view in
+            let rseq = t.to_seq in
+            t.to_seq <- t.to_seq + 1;
+            unicast t coord
+              (Wire.To_request { vid = t.view.View.id; rseq; user = payload }))
+
+and flush_pending t =
+  let queued = t.pending_out in
+  t.pending_out <- [];
+  List.iter (fun (order, payload) -> multicast t ~order payload) queued
+
+(* ---------- membership protocol ---------- *)
+
+let cancel_proposal_timer p =
+  match p.p_timer with Some h -> Sim.cancel h | None -> ()
+
+let abandon_proposal t =
+  match t.proposal with
+  | Some p ->
+      cancel_proposal_timer p;
+      t.proposal <- None
+  | None -> ()
+
+let send_flush_ack t pvid coordinator =
+  let seen = all_seen t in
+  unicast t coordinator
+    (Wire.Flush_ack
+       { pvid; from_view = t.view.View.id; seen; ann = t.ann })
+
+let rec handle_target t target =
+  if t.alive then begin
+    let target = Proc_id.sort target in
+    let current = t.view.View.members in
+    if Listx.equal_set ~cmp:Proc_id.compare target current then
+      (* Membership is already right; drop any proposal in flight. *)
+      abandon_proposal t
+    else
+      match Proc_id.min_member target with
+      | Some coord when Proc_id.equal coord t.me -> consider_propose t target
+      | Some _ | None -> ()
+  end
+
+and consider_propose t target =
+  let members =
+    if t.config.one_at_a_time then begin
+      let stay = Listx.inter ~cmp:Proc_id.compare t.view.View.members target in
+      let newcomers = Listx.diff ~cmp:Proc_id.compare target t.view.View.members in
+      let admitted = match newcomers with [] -> [] | first :: _ -> [ first ] in
+      Proc_id.sort (t.me :: (stay @ admitted))
+    end
+    else target
+  in
+  let already_proposing =
+    match t.proposal with
+    | Some p -> Listx.equal_set ~cmp:Proc_id.compare p.p_members members
+    | None -> false
+  in
+  if (not already_proposing)
+     && not (Listx.equal_set ~cmp:Proc_id.compare members t.view.View.members)
+  then start_proposal t members
+
+and start_proposal t members =
+  abandon_proposal t;
+  t.max_epoch <- t.max_epoch + 1;
+  let pvid = View.Id.make ~epoch:t.max_epoch ~proposer:t.me in
+  let p = { p_vid = pvid; p_members = members; p_acks = Hashtbl.create 8; p_timer = None } in
+  t.proposal <- Some p;
+  t.s_proposals <- t.s_proposals + 1;
+  log_event t
+    (Printf.sprintf "propose %s {%s}" (View.Id.to_string pvid)
+       (String.concat "," (List.map Proc_id.to_string members)));
+  p.p_timer <-
+    Some
+      (Sim.after t.sim t.config.flush_timeout (fun () ->
+           match t.proposal with
+           | Some p' when View.Id.equal p'.p_vid pvid ->
+               (* Flush stalled: drop it and retry from the latest target. *)
+               t.proposal <- None;
+               (match t.est with
+               | Some est -> (
+                   match Estimator.target est with
+                   | Some target -> handle_target t target
+                   | None -> ())
+               | None -> ())
+           | Some _ | None -> ()));
+  List.iter
+    (fun dst -> unicast t dst (Wire.Propose { pvid; members }))
+    members
+
+and handle_propose t ~pvid ~members =
+  if
+    t.alive
+    && List.exists (Proc_id.equal t.me) members
+    && View.Id.compare pvid t.acked <= 0
+  then
+    (* Stale proposal (e.g. a freshly recovered proposer with a low epoch):
+       tell it what we have accepted so it can outbid immediately instead
+       of crawling up one epoch per flush timeout. *)
+    unicast t pvid.View.Id.proposer
+      (Wire.Propose_reject { pvid; max_vid = t.acked })
+  else if
+    t.alive
+    && List.exists (Proc_id.equal t.me) members
+    && View.Id.compare pvid t.acked > 0
+  then begin
+    t.max_epoch <- max t.max_epoch pvid.View.Id.epoch;
+    t.acked <- pvid;
+    t.phase <- Flushing pvid;
+    t.stash <- [];
+    t.stash_to <- [];
+    (* A competing lower proposal of ours is now dead. *)
+    (match t.proposal with
+    | Some p when View.Id.compare p.p_vid pvid < 0 -> abandon_proposal t
+    | Some _ | None -> ());
+    send_flush_ack t pvid pvid.View.Id.proposer
+  end
+
+and handle_propose_reject t ~pvid ~max_vid =
+  match t.proposal with
+  | Some p
+    when View.Id.equal p.p_vid pvid && View.Id.compare max_vid p.p_vid > 0 ->
+      t.max_epoch <- max t.max_epoch max_vid.View.Id.epoch;
+      let members = p.p_members in
+      start_proposal t members
+  | Some _ | None -> t.max_epoch <- max t.max_epoch max_vid.View.Id.epoch
+
+and handle_flush_ack t ~src ~pvid ~from_view ~seen ~ann =
+  match t.proposal with
+  | Some p when View.Id.equal p.p_vid pvid && not (Hashtbl.mem p.p_acks src) ->
+      Hashtbl.replace p.p_acks src { a_from = from_view; a_ann = ann; a_seen = seen };
+      if List.for_all (fun m -> Hashtbl.mem p.p_acks m) p.p_members then
+        finalize_proposal t p
+  | Some _ | None -> ()
+
+and finalize_proposal t p =
+  cancel_proposal_timer p;
+  t.proposal <- None;
+  let acks =
+    List.map (fun m -> (m, Hashtbl.find p.p_acks m)) p.p_members
+  in
+  (* Per prior view, the union of messages seen by its survivors. *)
+  let by_prior =
+    Listx.group_by
+      ~key:(fun (_, a) -> a.a_from)
+      ~cmp_key:View.Id.compare acks
+  in
+  let sync =
+    List.map
+      (fun (prior_vid, group) ->
+        let union =
+          List.concat_map (fun (_, a) -> a.a_seen) group
+          |> List.sort_uniq Wire.compare_data
+        in
+        (prior_vid, union))
+      by_prior
+  in
+  let anns = List.map (fun (m, a) -> (m, a.a_ann)) acks in
+  let priors = List.map (fun (m, a) -> (m, a.a_from)) acks in
+  let new_view = View.make p.p_vid p.p_members in
+  let install = Wire.Install { pvid = p.p_vid; view = new_view; sync; anns; priors } in
+  List.iter (fun dst -> unicast t dst install) p.p_members
+
+and handle_install t ~pvid ~view:new_view ~sync ~anns ~priors =
+  match t.phase with
+  | Flushing fvid when View.Id.equal fvid pvid && t.alive ->
+      (* Synchronisation deliveries: everything the survivors of my prior
+         view saw that I have not delivered yet, in canonical (sender, seq)
+         order.  Messages I received after acking the flush but that no
+         survivor reported are skipped — nobody delivered them (Agreement).
+      *)
+      let my_sync =
+        match List.find_opt (fun (vid, _) -> View.Id.equal vid t.view.View.id) sync with
+        | Some (_, ds) -> ds
+        | None -> []
+      in
+      let delivered_now = ref 0 in
+      let deliver_sync (d : 'a Wire.data) =
+        let s = stream_for t d.Wire.sender in
+        Hashtbl.replace s.log d.Wire.seq d;
+        Hashtbl.remove s.buffer d.Wire.seq;
+        s.next <- d.Wire.seq + 1;
+        incr delivered_now;
+        t.s_sync_delivered <- t.s_sync_delivered + 1;
+        deliver_user t d
+      in
+      (* Deliver in passes: per-sender order always, and causal messages
+         only once their dependencies are in — a causal message's
+         dependencies are necessarily in the synchronisation set (whoever
+         reported it had delivered them first), so the passes terminate. *)
+      let remaining =
+        ref
+          (List.filter
+             (fun (d : 'a Wire.data) ->
+               d.Wire.seq >= (stream_for t d.Wire.sender).next)
+             my_sync)
+      in
+      let progress = ref true in
+      while !progress && !remaining <> [] do
+        progress := false;
+        let blocked = Hashtbl.create 4 in
+        remaining :=
+          List.filter
+            (fun (d : 'a Wire.data) ->
+              if Hashtbl.mem blocked d.Wire.sender then true
+              else if causally_ready t d then begin
+                deliver_sync d;
+                progress := true;
+                false
+              end
+              else begin
+                Hashtbl.replace blocked d.Wire.sender ();
+                true
+              end)
+            !remaining
+      done;
+      (* Robustness only — unreachable in correct runs. *)
+      List.iter deliver_sync !remaining;
+      (* Install the new view. *)
+      t.view <- new_view;
+      t.phase <- Active;
+      t.acked <- new_view.View.id;
+      t.max_epoch <- max t.max_epoch new_view.View.id.View.Id.epoch;
+      t.send_seq <- 0;
+      t.to_seq <- 0;
+      Hashtbl.reset t.streams;
+      Hashtbl.reset t.to_streams;
+      Hashtbl.reset t.stable_vectors;
+      t.s_views <- t.s_views + 1;
+      log_event t
+        (Printf.sprintf "install %s (+%d sync)" (View.to_string new_view)
+           !delivered_now);
+      flush_pending t;
+      t.callbacks.on_view { view = new_view; annotations = anns; priors };
+      (* Messages of the new view that raced ahead of the Install. *)
+      let stashed = t.stash in
+      t.stash <- [];
+      List.iter (fun d -> handle_data t d) stashed;
+      let stashed_to = t.stash_to in
+      t.stash_to <- [];
+      List.iter
+        (fun (orig, rseq, user) -> handle_to_request t ~orig ~rseq ~user)
+        stashed_to
+  | Flushing _ | Active -> ()
+
+(* ---------- data path ---------- *)
+
+and handle_data t (d : 'a Wire.data) =
+  if not (View.Id.equal d.Wire.vid t.view.View.id) then begin
+    match t.phase with
+    | Flushing pvid when View.Id.equal d.Wire.vid pvid ->
+        (* Sent in the view we are about to install; replayed after. *)
+        t.stash <- d :: t.stash
+    | Flushing _ | Active -> t.s_stale <- t.s_stale + 1
+  end
+  else begin
+    let s = stream_for t d.Wire.sender in
+    if d.Wire.seq < s.next || Hashtbl.mem s.log d.Wire.seq then ()
+      (* duplicate: already delivered or logged *)
+    else begin
+      Hashtbl.replace s.log d.Wire.seq d;
+      Hashtbl.replace s.buffer d.Wire.seq d;
+      match t.phase with
+      | Active ->
+          drain_all t;
+          if Hashtbl.length s.buffer > 0 then arm_nack t d.Wire.sender s
+      | Flushing _ -> ()
+      (* logged only: it will be re-reported if the flush restarts, and
+         synchronised by the install otherwise *)
+    end
+  end
+
+and handle_to_request t ~orig ~rseq ~user =
+  match t.phase with
+  | Active when Proc_id.equal (View.coordinator t.view) t.me ->
+      (* Relay in per-origin request order: requests race on the wire, so
+         buffer out-of-order arrivals — Total stays FIFO per origin. *)
+      let next, pending =
+        match Hashtbl.find_opt t.to_streams orig with
+        | Some entry -> entry
+        | None ->
+            let entry = (ref 0, Hashtbl.create 4) in
+            Hashtbl.replace t.to_streams orig entry;
+            entry
+      in
+      if rseq >= !next then begin
+        Hashtbl.replace pending rseq user;
+        while Hashtbl.mem pending !next do
+          let u = Hashtbl.find pending !next in
+          Hashtbl.remove pending !next;
+          incr next;
+          send_data t (Wire.Relay { orig; user = u })
+        done
+      end
+  | Active | Flushing _ -> t.s_to_dropped <- t.s_to_dropped + 1
+
+(* Record a peer's delivered-prefix vector; then drop every log entry
+   below the new floor — those messages are delivered everywhere and no
+   flush will ever need them again. *)
+let handle_stable_report t ~src ~vid ~vector =
+  if View.Id.equal vid t.view.View.id then begin
+    Hashtbl.replace t.stable_vectors src vector;
+    Hashtbl.iter
+      (fun sender s ->
+        let floor = stability_floor t sender in
+        if floor > 0 then
+          Hashtbl.iter
+            (fun seq _ ->
+              if seq < floor then begin
+                Hashtbl.remove s.log seq;
+                t.s_stabilized <- t.s_stabilized + 1
+              end)
+            (Hashtbl.copy s.log))
+      t.streams
+  end
+
+let rec stability_tick t interval () =
+  if t.alive then begin
+    (match t.phase with
+    | Active when View.size t.view > 1 ->
+        let vector =
+          Hashtbl.fold (fun sender s acc -> (sender, s.next) :: acc) t.streams []
+        in
+        let report =
+          Wire.Stable_report { vid = t.view.View.id; vector }
+        in
+        members_iter t (fun dst ->
+            if not (Proc_id.equal dst t.me) then unicast t dst report);
+        (* our own vector participates directly *)
+        handle_stable_report t ~src:t.me ~vid:t.view.View.id ~vector
+    | Active | Flushing _ -> ());
+    ignore (Sim.after t.sim interval (stability_tick t interval))
+  end
+
+let handle_nack t ~src ~vid ~missing =
+  if View.Id.equal vid t.view.View.id then begin
+    match Hashtbl.find_opt t.streams t.me with
+    | None -> ()
+    | Some s ->
+        let found =
+          List.filter_map (fun seq -> Hashtbl.find_opt s.log seq) missing
+        in
+        if found <> [] then begin
+          t.s_retransmits <- t.s_retransmits + List.length found;
+          unicast t src (Wire.Retransmit found)
+        end
+  end
+
+(* ---------- wiring ---------- *)
+
+let handle_envelope t (env : ('a, 'ann) Wire.t Net.envelope) =
+  if t.alive then
+    match env.Net.payload with
+    | Wire.Heartbeat -> (
+        match t.fd with
+        | Some fd -> Fd.heartbeat_received fd ~from:env.Net.src
+        | None -> ())
+    | Wire.Leave_announce -> (
+        match t.fd with Some fd -> Fd.forget fd env.Net.src | None -> ())
+    | Wire.Data d -> handle_data t d
+    | Wire.To_request { vid; rseq; user } -> (
+        if View.Id.equal vid t.view.View.id then
+          handle_to_request t ~orig:env.Net.src ~rseq ~user
+        else
+          match t.phase with
+          | Flushing pvid when View.Id.equal vid pvid ->
+              (* For the view we are about to install: relay it once we
+                 have, if we turn out to be its coordinator. *)
+              t.stash_to <- t.stash_to @ [ (env.Net.src, rseq, user) ]
+          | Flushing _ | Active -> t.s_to_dropped <- t.s_to_dropped + 1)
+    | Wire.Nack { vid; missing; _ } ->
+        handle_nack t ~src:env.Net.src ~vid ~missing
+    | Wire.Stable_report { vid; vector } ->
+        handle_stable_report t ~src:env.Net.src ~vid ~vector
+    | Wire.Retransmit ds -> List.iter (handle_data t) ds
+    | Wire.Propose { pvid; members } -> handle_propose t ~pvid ~members
+    | Wire.Propose_reject { pvid; max_vid } ->
+        handle_propose_reject t ~pvid ~max_vid
+    | Wire.Flush_ack { pvid; from_view; seen; ann } ->
+        handle_flush_ack t ~src:env.Net.src ~pvid ~from_view ~seen ~ann
+    | Wire.Install { pvid; view; sync; anns; priors } ->
+        handle_install t ~pvid ~view ~sync ~anns ~priors
+
+let create sim net ~me:me_ ~universe ~config ~callbacks =
+  let t =
+    {
+      sim;
+      net;
+      me = me_;
+      config;
+      callbacks;
+      view = View.singleton me_;
+      phase = Active;
+      acked = View.Id.initial me_;
+      max_epoch = 0;
+      send_seq = 0;
+      to_seq = 0;
+      to_streams = Hashtbl.create 8;
+      streams = Hashtbl.create 16;
+      pending_out = [];
+      stash = [];
+      stash_to = [];
+      ann = None;
+      proposal = None;
+      fd = None;
+      est = None;
+      alive = true;
+      stable_vectors = Hashtbl.create 8;
+      s_views = 0;
+      s_proposals = 0;
+      s_data_sent = 0;
+      s_delivered = 0;
+      s_sync_delivered = 0;
+      s_stale = 0;
+      s_to_dropped = 0;
+      s_nacks = 0;
+      s_retransmits = 0;
+      s_stabilized = 0;
+    }
+  in
+  Net.register net me_ (fun env -> handle_envelope t env);
+  let est =
+    Estimator.create sim ~stability:config.stability
+      ~nag_period:config.nag_period
+      ~achieved:(fun () -> t.view.View.members)
+      ~on_target:(fun target -> handle_target t target)
+  in
+  let fd =
+    Fd.create sim ~me:me_ ~universe ~config:config.fd
+      ~send_heartbeat:(fun ~dst_node ->
+        Net.send_node net ~src:me_ ~dst_node Wire.Heartbeat)
+      ~on_change:(fun reachable -> Estimator.update est reachable)
+  in
+  t.fd <- Some fd;
+  t.est <- Some est;
+  (match config.stability_interval with
+  | Some interval when interval > 0. ->
+      ignore (Sim.after sim interval (stability_tick t interval))
+  | Some _ | None -> ());
+  (* The paper: the first event of a process's history is the view event of
+     its initial (singleton) view. *)
+  ignore
+    (Sim.after sim 0. (fun () ->
+         if t.alive then begin
+           t.s_views <- t.s_views + 1;
+           t.callbacks.on_view
+             {
+               view = t.view;
+               annotations = [ (me_, t.ann) ];
+               priors = [ (me_, t.view.View.id) ];
+             }
+         end));
+  t
+
+let stop_stack t =
+  t.alive <- false;
+  (match t.fd with Some fd -> Fd.stop fd | None -> ());
+  (match t.est with Some est -> Estimator.stop est | None -> ());
+  abandon_proposal t
+
+let leave t =
+  if t.alive then begin
+    List.iter
+      (fun (dst : Proc_id.t) ->
+        if not (Proc_id.equal dst t.me) then
+          unicast t dst Wire.Leave_announce)
+      t.view.View.members;
+    log_event t "leave";
+    stop_stack t;
+    Net.crash t.net t.me
+  end
+
+let kill t =
+  if t.alive then begin
+    log_event t "kill";
+    stop_stack t;
+    Net.crash t.net t.me
+  end

@@ -1,0 +1,120 @@
+(** View-synchronous endpoint: one per process.
+
+    Integrates the failure detector, membership estimation and reliable
+    multicast into the abstraction of Section 2 of the paper:
+
+    - processes deliver a totally-ordered-per-process sequence of message
+      and view events, starting with their initial singleton view;
+    - {e Agreement} (Property 2.1): processes surviving from a view [v] to
+      the same next view deliver the same set of messages in [v] — enforced
+      by the flush protocol, which synchronises survivors on the union of
+      messages seen in each prior view before installing the next;
+    - {e Uniqueness} (Property 2.2): a message is delivered only in the view
+      it was multicast in;
+    - {e Integrity} (Property 2.3): at-most-once delivery of actually-sent
+      messages.
+
+    Multicasts issued while a flush is in progress are queued and sent in the
+    next view.  Each endpoint may attach an opaque {e annotation} that is
+    collected during the flush and handed to every member with the new view —
+    the hook on which enriched view synchrony (lib/core) and state-transfer
+    negotiation are built. *)
+
+module Proc_id = Vs_net.Proc_id
+module View = Vs_gms.View
+
+type order = Fifo | Total | Causal
+(** [Fifo]: per-sender FIFO.  [Total]: relayed through the view coordinator,
+    totally ordered within the view (and still FIFO per origin).  [Causal]:
+    delivered only after everything the sender had delivered when it
+    multicast — causal order within the view, carried as a dependency
+    vector on the message (across views, causality follows from the flush
+    cut). *)
+
+type config = {
+  fd : Vs_fd.Fd.config;
+  stability : float;      (** membership estimator settle time *)
+  nag_period : float;     (** estimator retry period *)
+  flush_timeout : float;  (** coordinator restarts a stalled flush after this *)
+  nack_delay : float;     (** gap age before requesting retransmission *)
+  one_at_a_time : bool;
+      (** Isis-style admission throttle: a proposed view may contain at most
+          one process that was not in the proposer's current view (Section 5
+          discussion; used by experiment E4). *)
+  stability_interval : float option;
+      (** with [Some dt], members gossip their delivered prefixes every
+          [dt]; messages below the view's stability floor (delivered by
+          every member) are trimmed from flush reports and logs, bounding
+          the synchronisation cost of view changes.  [None] disables
+          stability tracking (the E10 ablation). *)
+}
+
+val default_config : config
+
+type 'ann view_event = {
+  view : View.t;
+  annotations : (Proc_id.t * 'ann option) list;
+      (** each member's annotation at flush time *)
+  priors : (Proc_id.t * View.Id.t) list;
+      (** the view each member came from *)
+}
+
+type ('a, 'ann) callbacks = {
+  on_view : 'ann view_event -> unit;
+  on_message : sender:Proc_id.t -> 'a -> unit;
+}
+
+type ('a, 'ann) t
+
+val create :
+  Vs_sim.Sim.t ->
+  (('a, 'ann) Wire.t) Vs_net.Net.t ->
+  me:Proc_id.t ->
+  universe:int list ->
+  config:config ->
+  callbacks:('a, 'ann) callbacks ->
+  ('a, 'ann) t
+(** Registers [me] on the network and starts the stack.  The initial
+    singleton view is delivered through the event queue, so it arrives after
+    the caller finishes wiring up. *)
+
+val me : ('a, 'ann) t -> Proc_id.t
+
+val view : ('a, 'ann) t -> View.t
+(** Currently installed view. *)
+
+val is_blocked : ('a, 'ann) t -> bool
+(** [true] while a flush is in progress (multicasts are being queued). *)
+
+val is_alive : ('a, 'ann) t -> bool
+
+val multicast : ('a, 'ann) t -> ?order:order -> 'a -> unit
+(** Multicast to the current view.  Queued if a flush is in progress.
+    [Total] messages requested while the coordinator is flushing, or that
+    race with a view change, may be lost (at-most-once); FIFO messages are
+    reliable within the view and across changes via the flush protocol. *)
+
+val set_annotation : ('a, 'ann) t -> 'ann option -> unit
+(** Annotation reported with this process's next flush. *)
+
+val leave : ('a, 'ann) t -> unit
+(** Graceful departure: announce, stop the stack, release the node. *)
+
+val kill : ('a, 'ann) t -> unit
+(** Crash the process (no announcement).  The harness pairs this with
+    network-level crash semantics automatically. *)
+
+type stats = {
+  views_installed : int;
+  proposals_started : int;
+  data_sent : int;
+  delivered : int;
+  sync_delivered : int;  (** deliveries forced by the flush protocol *)
+  stale_dropped : int;   (** data for a view other than the current one *)
+  to_dropped : int;      (** total-order requests lost to view changes *)
+  nacks_sent : int;
+  retransmits : int;
+  stabilized : int;      (** log entries trimmed as stable *)
+}
+
+val stats : ('a, 'ann) t -> stats

@@ -1,0 +1,91 @@
+module Proc_id = Vs_net.Proc_id
+module View = Vs_gms.View
+
+type 'a body =
+  | User of 'a
+  | Relay of { orig : Proc_id.t; user : 'a }
+  | Causal of { deps : (Proc_id.t * int) list; user : 'a }
+
+type 'a data = {
+  vid : View.Id.t;
+  sender : Proc_id.t;
+  seq : int;
+  body : 'a body;
+}
+
+type ('a, 'ann) t =
+  | Heartbeat
+  | Leave_announce
+  | Data of 'a data
+  | To_request of { vid : View.Id.t; rseq : int; user : 'a }
+  | Nack of { vid : View.Id.t; sender : Proc_id.t; missing : int list }
+  | Stable_report of { vid : View.Id.t; vector : (Proc_id.t * int) list }
+  | Retransmit of 'a data list
+  | Propose of { pvid : View.Id.t; members : Proc_id.t list }
+  | Propose_reject of { pvid : View.Id.t; max_vid : View.Id.t }
+  | Flush_ack of {
+      pvid : View.Id.t;
+      from_view : View.Id.t;
+      seen : 'a data list;
+      ann : 'ann option;
+    }
+  | Install of {
+      pvid : View.Id.t;
+      view : View.t;
+      sync : (View.Id.t * 'a data list) list;
+      anns : (Proc_id.t * 'ann option) list;
+      priors : (Proc_id.t * View.Id.t) list;
+    }
+
+let data_key d = (d.sender, d.seq)
+
+let compare_data a b = compare (data_key a) (data_key b)
+
+(* Nominal sizes: identifiers 8 bytes, headers 16, plus payload sizes.  Only
+   relative magnitudes matter for the overhead experiments. *)
+let id_size = 8
+let header = 16
+
+let size_of_body ~user = function
+  | User u -> user u
+  | Relay { user = u; _ } -> id_size + user u
+  | Causal { deps; user = u } -> (12 * List.length deps) + user u
+
+let size_of_data ~user d = header + id_size + size_of_body ~user d.body
+
+let size_of ~user ~ann = function
+  | Heartbeat -> header
+  | Leave_announce -> header
+  | Data d -> size_of_data ~user d
+  | To_request { user = u; _ } -> header + id_size + user u
+  | Nack { missing; _ } -> header + (2 * id_size) + (4 * List.length missing)
+  | Stable_report { vector; _ } ->
+      header + id_size + (12 * List.length vector)
+  | Retransmit ds ->
+      List.fold_left (fun acc d -> acc + size_of_data ~user d) header ds
+  | Propose { members; _ } ->
+      header + id_size + (id_size * List.length members)
+  | Propose_reject _ -> header + (2 * id_size)
+  | Flush_ack { seen; ann = a; _ } ->
+      let ann_size = match a with Some x -> ann x | None -> 0 in
+      List.fold_left
+        (fun acc d -> acc + size_of_data ~user d)
+        (header + (2 * id_size) + ann_size)
+        seen
+  | Install { view; sync; anns; priors; _ } ->
+      let sync_size =
+        List.fold_left
+          (fun acc (_, ds) ->
+            List.fold_left (fun a d -> a + size_of_data ~user d) (acc + id_size) ds)
+          0 sync
+      in
+      let ann_size =
+        List.fold_left
+          (fun acc (_, a) ->
+            acc + id_size + match a with Some x -> ann x | None -> 0)
+          0 anns
+      in
+      header + id_size
+      + (id_size * View.size view)
+      + sync_size + ann_size
+      + (2 * id_size * List.length priors)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Evs_core Fun List Option Vs_apps Vs_gms Vs_net Vs_sim Vs_store Vs_vsync

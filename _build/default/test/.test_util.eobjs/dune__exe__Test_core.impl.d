@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Evs_core Gen List Option Printf QCheck QCheck_alcotest Vs_gms Vs_net Vs_util

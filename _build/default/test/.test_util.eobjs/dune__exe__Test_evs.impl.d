@@ -1,0 +1,1 @@
+test/test_evs.ml: Alcotest Evs_core Hashtbl Int64 List Option Printf QCheck QCheck_alcotest Vs_gms Vs_harness Vs_net Vs_sim Vs_util Vs_vsync

@@ -1,0 +1,1 @@
+test/test_fd.ml: Alcotest Hashtbl List Vs_fd Vs_net Vs_sim

@@ -1,0 +1,1 @@
+test/test_gms.ml: Alcotest List Vs_gms Vs_net Vs_sim

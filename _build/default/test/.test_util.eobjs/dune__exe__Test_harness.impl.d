@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Hashtbl Int64 List QCheck QCheck_alcotest String Vs_gms Vs_harness Vs_net Vs_stats Vs_util

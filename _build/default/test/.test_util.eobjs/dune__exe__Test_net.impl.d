@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest List String Vs_net Vs_sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Float List Printf QCheck QCheck_alcotest Vs_sim Vs_util

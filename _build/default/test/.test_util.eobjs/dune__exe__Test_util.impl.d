@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Int List Option QCheck QCheck_alcotest Vs_util

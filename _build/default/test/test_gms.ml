@@ -1,0 +1,165 @@
+(* Tests for views, view identifiers and the membership estimator. *)
+
+module Sim = Vs_sim.Sim
+module Proc_id = Vs_net.Proc_id
+module View = Vs_gms.View
+module Estimator = Vs_gms.Estimator
+
+let check = Alcotest.check
+
+let p0 = Proc_id.initial 0
+let p1 = Proc_id.initial 1
+let p2 = Proc_id.initial 2
+
+(* ---------- View.Id ---------- *)
+
+let test_view_id_order () =
+  let a = View.Id.make ~epoch:1 ~proposer:p2 in
+  let b = View.Id.make ~epoch:2 ~proposer:p0 in
+  check Alcotest.bool "epoch dominates proposer" true (View.Id.compare a b < 0);
+  let c = View.Id.make ~epoch:1 ~proposer:p0 in
+  check Alcotest.bool "proposer breaks ties" true (View.Id.compare c a < 0);
+  check Alcotest.bool "equal" true (View.Id.equal a a);
+  check Alcotest.bool "initial is epoch 0" true
+    (View.Id.compare (View.Id.initial p0) c < 0)
+
+let test_view_id_validation () =
+  check Alcotest.bool "negative epoch refused" true
+    (try ignore (View.Id.make ~epoch:(-1) ~proposer:p0); false
+     with Invalid_argument _ -> true)
+
+(* ---------- View ---------- *)
+
+let test_view_make () =
+  let v = View.make (View.Id.make ~epoch:3 ~proposer:p1) [ p2; p0; p1; p0 ] in
+  check (Alcotest.list (Alcotest.testable Proc_id.pp Proc_id.equal))
+    "sorted and deduped" [ p0; p1; p2 ] v.View.members;
+  check Alcotest.int "size" 3 (View.size v);
+  check Alcotest.bool "coordinator is min" true
+    (Proc_id.equal (View.coordinator v) p0);
+  check Alcotest.bool "mem" true (View.mem p1 v);
+  check Alcotest.bool "not mem" false (View.mem (Proc_id.initial 9) v);
+  check Alcotest.bool "empty refused" true
+    (try ignore (View.make (View.Id.initial p0) []); false
+     with Invalid_argument _ -> true)
+
+let test_view_singleton () =
+  let v = View.singleton p1 in
+  check Alcotest.int "one member" 1 (View.size v);
+  check Alcotest.int "epoch 0" 0 v.View.id.View.Id.epoch;
+  check Alcotest.bool "self coordinator" true (Proc_id.equal (View.coordinator v) p1)
+
+(* ---------- Estimator ---------- *)
+
+type probe = {
+  sim : Sim.t;
+  est : Estimator.t;
+  targets : Proc_id.t list list ref;
+  achieved : Proc_id.t list ref;
+}
+
+let make_probe ?(stability = 0.1) ?(nag = 0.25) () =
+  let sim = Sim.create () in
+  let targets = ref [] in
+  let achieved = ref [ p0 ] in
+  let est =
+    Estimator.create sim ~stability ~nag_period:nag
+      ~achieved:(fun () -> !achieved)
+      ~on_target:(fun t -> targets := t :: !targets)
+  in
+  { sim; est; targets; achieved }
+
+let test_estimator_stabilizes () =
+  let probe = make_probe () in
+  Estimator.update probe.est [ p0; p1 ];
+  ignore (Sim.run ~until:0.05 probe.sim);
+  check Alcotest.int "not yet stable" 0 (List.length !(probe.targets));
+  ignore (Sim.run ~until:0.15 probe.sim);
+  check Alcotest.int "emitted after stability" 1 (List.length !(probe.targets));
+  check (Alcotest.list (Alcotest.testable Proc_id.pp Proc_id.equal))
+    "right target" [ p0; p1 ] (List.hd !(probe.targets))
+
+let test_estimator_debounces_flaps () =
+  let probe = make_probe () in
+  (* Flap faster than the stability window: no emission. *)
+  let rec flap t on =
+    if t < 0.5 then begin
+      ignore
+        (Sim.at probe.sim t (fun () ->
+             Estimator.update probe.est (if on then [ p0; p1 ] else [ p0; p2 ])));
+      flap (t +. 0.05) (not on)
+    end
+  in
+  flap 0.0 true;
+  ignore (Sim.run ~until:0.5 probe.sim);
+  check Alcotest.int "flapping suppressed" 0 (List.length !(probe.targets));
+  (* Quiet now: the last candidate settles. *)
+  ignore (Sim.run ~until:0.7 probe.sim);
+  check Alcotest.int "settles after quiet" 1 (List.length !(probe.targets))
+
+let test_estimator_skips_achieved () =
+  let probe = make_probe () in
+  probe.achieved := [ p0; p1 ];
+  Estimator.update probe.est [ p0; p1 ];
+  ignore (Sim.run ~until:0.5 probe.sim);
+  check Alcotest.int "already achieved: no emission" 0
+    (List.length !(probe.targets))
+
+let test_estimator_nags () =
+  let probe = make_probe () in
+  Estimator.update probe.est [ p0; p1 ];
+  (* Never achieve it: the estimator must re-emit periodically. *)
+  ignore (Sim.run ~until:1.0 probe.sim);
+  check Alcotest.bool "nagged at least twice" true
+    (List.length !(probe.targets) >= 3)
+
+let test_estimator_nag_stops_when_achieved () =
+  let probe = make_probe () in
+  Estimator.update probe.est [ p0; p1 ];
+  ignore (Sim.run ~until:0.15 probe.sim);
+  probe.achieved := [ p0; p1 ];
+  let emitted = List.length !(probe.targets) in
+  ignore (Sim.run ~until:1.5 probe.sim);
+  check Alcotest.int "no further nags once achieved" emitted
+    (List.length !(probe.targets))
+
+let test_estimator_stop () =
+  let probe = make_probe () in
+  Estimator.update probe.est [ p0; p1 ];
+  Estimator.stop probe.est;
+  ignore (Sim.run ~until:1.0 probe.sim);
+  check Alcotest.int "stopped estimator silent" 0 (List.length !(probe.targets));
+  check Alcotest.bool "target cleared" true (Estimator.target probe.est = None)
+
+let test_estimator_unsorted_input () =
+  let probe = make_probe () in
+  Estimator.update probe.est [ p1; p0; p1 ];
+  ignore (Sim.run ~until:0.2 probe.sim);
+  check (Alcotest.list (Alcotest.testable Proc_id.pp Proc_id.equal))
+    "input normalized" [ p0; p1 ] (List.hd !(probe.targets))
+
+let () =
+  Alcotest.run "vs_gms"
+    [
+      ( "view_id",
+        [
+          Alcotest.test_case "ordering" `Quick test_view_id_order;
+          Alcotest.test_case "validation" `Quick test_view_id_validation;
+        ] );
+      ( "view",
+        [
+          Alcotest.test_case "make" `Quick test_view_make;
+          Alcotest.test_case "singleton" `Quick test_view_singleton;
+        ] );
+      ( "estimator",
+        [
+          Alcotest.test_case "stabilizes" `Quick test_estimator_stabilizes;
+          Alcotest.test_case "debounces flaps" `Quick test_estimator_debounces_flaps;
+          Alcotest.test_case "skips achieved" `Quick test_estimator_skips_achieved;
+          Alcotest.test_case "nags" `Quick test_estimator_nags;
+          Alcotest.test_case "nag stops when achieved" `Quick
+            test_estimator_nag_stops_when_achieved;
+          Alcotest.test_case "stop" `Quick test_estimator_stop;
+          Alcotest.test_case "unsorted input" `Quick test_estimator_unsorted_input;
+        ] );
+    ]

@@ -1,0 +1,250 @@
+(* Tests for the harness itself: the oracle checkers must detect seeded
+   violations (a checker that cannot fail proves nothing), the fault-script
+   generator must produce well-formed campaigns, and the statistics
+   utilities must be correct. *)
+
+module Proc_id = Vs_net.Proc_id
+module View = Vs_gms.View
+module Oracle = Vs_harness.Oracle
+module Faults = Vs_harness.Faults
+module Table = Vs_stats.Table
+module Summary = Vs_stats.Summary
+
+let check = Alcotest.check
+
+let p n = Proc_id.initial n
+let vid e = View.Id.make ~epoch:e ~proposer:(p 0)
+let mid sender index = { Oracle.m_sender = p sender; m_index = index }
+
+(* ---------- oracle detects violations ---------- *)
+
+let test_oracle_clean_run () =
+  let o = Oracle.create () in
+  let v1 = vid 1 and v2 = vid 2 in
+  Oracle.record_send o (mid 0 0);
+  List.iter
+    (fun q ->
+      Oracle.record_install o ~proc:(p q) ~view:(View.make v1 [ p 0; p 1 ])
+        ~prior:(View.Id.initial (p q)) ~time:0.1;
+      Oracle.record_delivery o ~proc:(p q) ~vid:v1 (mid 0 0) ~time:0.2;
+      Oracle.record_install o ~proc:(p q) ~view:(View.make v2 [ p 0; p 1 ])
+        ~prior:v1 ~time:0.3)
+    [ 0; 1 ];
+  check (Alcotest.list Alcotest.string) "clean" [] (Oracle.check_all o);
+  check Alcotest.int "counts installs" 4 (Oracle.total_installs o);
+  check Alcotest.int "counts deliveries" 2 (Oracle.total_deliveries o);
+  check Alcotest.int "distinct views" 2 (Oracle.distinct_views o)
+
+let test_oracle_detects_agreement_violation () =
+  let o = Oracle.create () in
+  let v1 = vid 1 and v2 = vid 2 in
+  Oracle.record_send o (mid 0 0);
+  (* Both survive v1 -> v2 but only p0 delivered the message in v1. *)
+  List.iter
+    (fun q ->
+      Oracle.record_install o ~proc:(p q) ~view:(View.make v1 [ p 0; p 1 ])
+        ~prior:(View.Id.initial (p q)) ~time:0.1)
+    [ 0; 1 ];
+  Oracle.record_delivery o ~proc:(p 0) ~vid:v1 (mid 0 0) ~time:0.2;
+  List.iter
+    (fun q ->
+      Oracle.record_install o ~proc:(p q) ~view:(View.make v2 [ p 0; p 1 ])
+        ~prior:v1 ~time:0.3)
+    [ 0; 1 ];
+  check Alcotest.bool "agreement violation detected" true
+    (Oracle.check_agreement o <> [])
+
+let test_oracle_detects_uniqueness_violation () =
+  let o = Oracle.create () in
+  Oracle.record_send o (mid 0 0);
+  Oracle.record_delivery o ~proc:(p 0) ~vid:(vid 1) (mid 0 0) ~time:0.1;
+  Oracle.record_delivery o ~proc:(p 1) ~vid:(vid 2) (mid 0 0) ~time:0.2;
+  check Alcotest.bool "uniqueness violation detected" true
+    (Oracle.check_uniqueness o <> [])
+
+let test_oracle_detects_integrity_violations () =
+  let o = Oracle.create () in
+  Oracle.record_send o (mid 0 0);
+  (* Duplicate delivery. *)
+  Oracle.record_delivery o ~proc:(p 0) ~vid:(vid 1) (mid 0 0) ~time:0.1;
+  Oracle.record_delivery o ~proc:(p 0) ~vid:(vid 1) (mid 0 0) ~time:0.2;
+  (* Phantom: never sent. *)
+  Oracle.record_delivery o ~proc:(p 0) ~vid:(vid 1) (mid 9 3) ~time:0.3;
+  let errs = Oracle.check_integrity o in
+  check Alcotest.bool "duplicate detected" true
+    (List.exists (fun e -> String.length e > 0 && String.sub e 0 9 = "integrity") errs);
+  check Alcotest.int "two violations" 2 (List.length errs)
+
+let test_oracle_detects_fifo_violation () =
+  let o = Oracle.create () in
+  Oracle.record_send o (mid 0 0);
+  Oracle.record_send o (mid 0 1);
+  Oracle.record_delivery o ~proc:(p 1) ~vid:(vid 1) (mid 0 1) ~time:0.1;
+  Oracle.record_delivery o ~proc:(p 1) ~vid:(vid 1) (mid 0 0) ~time:0.2;
+  check Alcotest.bool "fifo inversion detected" true (Oracle.check_fifo o <> [])
+
+let test_oracle_fifo_exempts_total_order () =
+  let o = Oracle.create () in
+  Oracle.record_send o ~order:`Total (mid 0 0);
+  Oracle.record_send o (mid 0 1);
+  (* The totally-ordered message may arrive after a later FIFO one. *)
+  Oracle.record_delivery o ~proc:(p 1) ~vid:(vid 1) (mid 0 1) ~time:0.1;
+  Oracle.record_delivery o ~proc:(p 1) ~vid:(vid 1) (mid 0 0) ~time:0.2;
+  check (Alcotest.list Alcotest.string) "no false positive" []
+    (Oracle.check_fifo o)
+
+let test_oracle_detects_total_order_violation () =
+  let o = Oracle.create () in
+  Oracle.record_send o ~order:`Total (mid 0 0);
+  Oracle.record_send o ~order:`Total (mid 1 0);
+  (* p2 and p3 deliver the two totally-ordered messages in opposite
+     orders within one view. *)
+  Oracle.record_delivery o ~proc:(p 2) ~vid:(vid 1) (mid 0 0) ~time:0.1;
+  Oracle.record_delivery o ~proc:(p 2) ~vid:(vid 1) (mid 1 0) ~time:0.2;
+  Oracle.record_delivery o ~proc:(p 3) ~vid:(vid 1) (mid 1 0) ~time:0.1;
+  Oracle.record_delivery o ~proc:(p 3) ~vid:(vid 1) (mid 0 0) ~time:0.2;
+  check Alcotest.bool "total-order violation detected" true
+    (Oracle.check_total_order_messages o <> [])
+
+(* ---------- fault scripts ---------- *)
+
+let script_gen =
+  QCheck.make
+    QCheck.Gen.(
+      map2
+        (fun seed n -> (Int64.of_int seed, 2 + n))
+        (int_bound 100_000) (int_bound 6))
+
+let script_property name f =
+  QCheck.Test.make ~name ~count:100 script_gen (fun (seed, n) ->
+      let rng = Vs_util.Rng.create seed in
+      let nodes = List.init n (fun i -> i) in
+      let script =
+        Faults.random_script rng ~nodes ~start:1.0 ~duration:5.0 ~mean_gap:0.3 ()
+      in
+      f nodes script)
+
+let scripts_sorted =
+  script_property "scripts are time-ordered" (fun _nodes script ->
+      let times = List.map fst script in
+      let rec nondecreasing = function
+        | a :: b :: rest -> a <= b && nondecreasing (b :: rest)
+        | _ -> true
+      in
+      nondecreasing times)
+
+let scripts_keep_someone_alive =
+  script_property "scripts never kill the whole universe" (fun nodes script ->
+      let down = Hashtbl.create 8 in
+      List.for_all
+        (fun (_, action) ->
+          (match action with
+          | Faults.Crash node -> Hashtbl.replace down node ()
+          | Faults.Recover node -> Hashtbl.remove down node
+          | Faults.Partition _ | Faults.Heal -> ());
+          Hashtbl.length down < List.length nodes)
+        script)
+
+let scripts_end_recovered =
+  script_property "scripts end healed and fully recovered" (fun _nodes script ->
+      let down = Hashtbl.create 8 in
+      let partitioned = ref false in
+      List.iter
+        (fun (_, action) ->
+          match action with
+          | Faults.Crash node -> Hashtbl.replace down node ()
+          | Faults.Recover node -> Hashtbl.remove down node
+          | Faults.Partition _ -> partitioned := true
+          | Faults.Heal -> partitioned := false)
+        script;
+      Hashtbl.length down = 0 && not !partitioned)
+
+let scripts_valid_actions =
+  script_property "crash only up nodes, recover only down ones"
+    (fun _nodes script ->
+      let down = Hashtbl.create 8 in
+      List.for_all
+        (fun (_, action) ->
+          match action with
+          | Faults.Crash node ->
+              let ok = not (Hashtbl.mem down node) in
+              Hashtbl.replace down node ();
+              ok
+          | Faults.Recover node ->
+              let ok = Hashtbl.mem down node in
+              Hashtbl.remove down node;
+              ok
+          | Faults.Partition comps -> List.for_all (fun c -> c <> []) comps
+          | Faults.Heal -> true)
+        script)
+
+(* ---------- stats ---------- *)
+
+let test_table_rendering () =
+  let t = Table.create ~title:"demo" ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "beta-long"; "22" ];
+  let s = Table.to_string t in
+  check Alcotest.bool "title present" true
+    (String.length s > 0 && String.sub s 0 7 = "== demo");
+  check Alcotest.bool "row present" true
+    (String.length s > 0
+    && List.exists
+         (fun line -> line = "beta-long  22")
+         (String.split_on_char '\n' s));
+  check Alcotest.bool "wrong arity refused" true
+    (try Table.add_row t [ "only-one" ]; false with Invalid_argument _ -> true)
+
+let test_table_format_helpers () =
+  check Alcotest.string "fint" "42" (Table.fint 42);
+  check Alcotest.string "ffloat" "3.14" (Table.ffloat ~decimals:2 3.14159);
+  check Alcotest.string "fpct" "12.5%" (Table.fpct 0.125);
+  check Alcotest.string "fbool" "yes" (Table.fbool true)
+
+let test_summary () =
+  let s = Summary.of_list [ 4.; 1.; 3.; 2. ] in
+  check Alcotest.int "count" 4 (Summary.count s);
+  check (Alcotest.float 1e-9) "mean" 2.5 (Summary.mean s);
+  check (Alcotest.float 1e-9) "min" 1. (Summary.min_value s);
+  check (Alcotest.float 1e-9) "max" 4. (Summary.max_value s);
+  check (Alcotest.float 1e-9) "median" 2. (Summary.percentile s 0.5);
+  check (Alcotest.float 1e-9) "p100" 4. (Summary.percentile s 1.0);
+  check Alcotest.bool "stddev positive" true (Summary.stddev s > 0.);
+  let empty = Summary.create () in
+  check (Alcotest.float 1e-9) "empty mean" 0. (Summary.mean empty);
+  check (Alcotest.float 1e-9) "empty percentile" 0. (Summary.percentile empty 0.5)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "vs_harness"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "clean run" `Quick test_oracle_clean_run;
+          Alcotest.test_case "detects agreement violation" `Quick
+            test_oracle_detects_agreement_violation;
+          Alcotest.test_case "detects uniqueness violation" `Quick
+            test_oracle_detects_uniqueness_violation;
+          Alcotest.test_case "detects integrity violations" `Quick
+            test_oracle_detects_integrity_violations;
+          Alcotest.test_case "detects fifo violation" `Quick
+            test_oracle_detects_fifo_violation;
+          Alcotest.test_case "fifo exempts total order" `Quick
+            test_oracle_fifo_exempts_total_order;
+          Alcotest.test_case "detects total-order violation" `Quick
+            test_oracle_detects_total_order_violation;
+        ] );
+      ( "faults",
+        [
+          qt scripts_sorted;
+          qt scripts_keep_someone_alive;
+          qt scripts_end_recovered;
+          qt scripts_valid_actions;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "table rendering" `Quick test_table_rendering;
+          Alcotest.test_case "format helpers" `Quick test_table_format_helpers;
+          Alcotest.test_case "summary" `Quick test_summary;
+        ] );
+    ]

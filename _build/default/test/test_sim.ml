@@ -1,0 +1,195 @@
+(* Tests for the discrete-event engine: ordering, tie-breaking,
+   cancellation, horizons and determinism. *)
+
+module Sim = Vs_sim.Sim
+module Trace = Vs_sim.Trace
+
+let check = Alcotest.check
+
+let test_time_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.after sim 0.3 (fun () -> log := 3 :: !log));
+  ignore (Sim.after sim 0.1 (fun () -> log := 1 :: !log));
+  ignore (Sim.after sim 0.2 (fun () -> log := 2 :: !log));
+  check Alcotest.bool "quiescent" true (Sim.run sim = Sim.Quiescent);
+  check (Alcotest.list Alcotest.int) "fired in time order" [ 1; 2; 3 ]
+    (List.rev !log)
+
+let test_fifo_tiebreak () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 10 do
+    ignore (Sim.after sim 1.0 (fun () -> log := i :: !log))
+  done;
+  ignore (Sim.run sim);
+  check (Alcotest.list Alcotest.int) "same-time events fire in schedule order"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (List.rev !log)
+
+let test_clock_advances () =
+  let sim = Sim.create () in
+  let seen = ref [] in
+  ignore (Sim.after sim 0.5 (fun () -> seen := Sim.now sim :: !seen));
+  ignore (Sim.after sim 1.5 (fun () -> seen := Sim.now sim :: !seen));
+  ignore (Sim.run sim);
+  check (Alcotest.list (Alcotest.float 1e-9)) "now() at fire times" [ 0.5; 1.5 ]
+    (List.rev !seen)
+
+let test_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.after sim 0.1 (fun () -> fired := true) in
+  Sim.cancel h;
+  ignore (Sim.run sim);
+  check Alcotest.bool "cancelled event did not fire" false !fired;
+  check Alcotest.int "nothing processed" 0 (Sim.events_processed sim)
+
+let test_cancel_idempotent () =
+  let sim = Sim.create () in
+  let h = Sim.after sim 0.1 (fun () -> ()) in
+  Sim.cancel h;
+  Sim.cancel h;
+  ignore (Sim.run sim);
+  check Alcotest.int "no explosion" 0 (Sim.events_processed sim)
+
+let test_until_horizon () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  ignore (Sim.after sim 1.0 (fun () -> fired := 1 :: !fired));
+  ignore (Sim.after sim 3.0 (fun () -> fired := 3 :: !fired));
+  let reason = Sim.run ~until:2.0 sim in
+  check Alcotest.bool "stopped at horizon" true (reason = Sim.Reached_until);
+  check (Alcotest.list Alcotest.int) "only early event" [ 1 ] !fired;
+  check (Alcotest.float 1e-9) "clock at horizon" 2.0 (Sim.now sim);
+  ignore (Sim.run sim);
+  check (Alcotest.list Alcotest.int) "resumes past horizon" [ 3; 1 ] !fired
+
+let test_event_budget () =
+  let sim = Sim.create () in
+  for _ = 1 to 10 do
+    ignore (Sim.after sim 0.1 (fun () -> ()))
+  done;
+  let reason = Sim.run ~max_events:4 sim in
+  check Alcotest.bool "budget hit" true (reason = Sim.Event_budget);
+  check Alcotest.int "exactly 4" 4 (Sim.events_processed sim)
+
+let test_nested_scheduling () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.after sim 0.1 (fun () ->
+         log := "outer" :: !log;
+         ignore (Sim.after sim 0.1 (fun () -> log := "inner" :: !log))));
+  ignore (Sim.run sim);
+  check (Alcotest.list Alcotest.string) "nested events run" [ "outer"; "inner" ]
+    (List.rev !log)
+
+let test_past_rejected () =
+  let sim = Sim.create () in
+  ignore (Sim.after sim 1.0 (fun () -> ()));
+  ignore (Sim.run sim);
+  check Alcotest.bool "at past raises" true
+    (try
+       ignore (Sim.at sim 0.5 (fun () -> ()));
+       false
+     with Invalid_argument _ -> true);
+  check Alcotest.bool "negative delay raises" true
+    (try
+       ignore (Sim.after sim (-0.1) (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_pending_count () =
+  let sim = Sim.create () in
+  let h1 = Sim.after sim 0.1 (fun () -> ()) in
+  ignore (Sim.after sim 0.2 (fun () -> ()));
+  check Alcotest.int "two pending" 2 (Sim.pending sim);
+  Sim.cancel h1;
+  check Alcotest.int "one pending after cancel" 1 (Sim.pending sim)
+
+let test_step () =
+  let sim = Sim.create () in
+  let n = ref 0 in
+  ignore (Sim.after sim 0.1 (fun () -> incr n));
+  ignore (Sim.after sim 0.2 (fun () -> incr n));
+  check Alcotest.bool "step 1" true (Sim.step sim);
+  check Alcotest.int "one fired" 1 !n;
+  check Alcotest.bool "step 2" true (Sim.step sim);
+  check Alcotest.bool "step empty" false (Sim.step sim)
+
+let test_trace () =
+  let sim = Sim.create () in
+  ignore (Sim.after sim 0.5 (fun () -> Sim.record sim ~component:"test" "hello"));
+  ignore (Sim.run sim);
+  match Trace.by_component (Sim.trace sim) "test" with
+  | [ e ] ->
+      check (Alcotest.float 1e-9) "trace time" 0.5 e.Trace.time;
+      check Alcotest.string "trace message" "hello" e.Trace.message
+  | other -> Alcotest.failf "expected one entry, got %d" (List.length other)
+
+(* Determinism: the same seeded program produces the same event history. *)
+let run_random_program seed =
+  let sim = Sim.create ~seed () in
+  let rng = Sim.fork_rng sim in
+  let log = Buffer.create 64 in
+  let rec spawn depth =
+    if depth < 64 then
+      ignore
+        (Sim.after sim (Vs_util.Rng.uniform rng 0.001 0.1) (fun () ->
+             Buffer.add_string log (Printf.sprintf "%f;" (Sim.now sim));
+             if Vs_util.Rng.bool rng 0.7 then spawn (depth + 1)))
+  in
+  spawn 0;
+  spawn 0;
+  ignore (Sim.run sim);
+  Buffer.contents log
+
+let test_determinism () =
+  check Alcotest.string "identical runs" (run_random_program 99L)
+    (run_random_program 99L);
+  check Alcotest.bool "different seeds differ" true
+    (run_random_program 99L <> run_random_program 100L)
+
+let sim_order_property =
+  QCheck.Test.make ~name:"events always fire in nondecreasing time order"
+    ~count:100
+    QCheck.(small_list (float_bound_inclusive 10.))
+    (fun delays ->
+      let sim = Sim.create () in
+      let times = ref [] in
+      List.iter
+        (fun d ->
+          ignore
+            (Sim.after sim (Float.abs d) (fun () ->
+                 times := Sim.now sim :: !times)))
+        delays;
+      ignore (Sim.run sim);
+      let fired = List.rev !times in
+      let rec nondecreasing = function
+        | a :: b :: rest -> a <= b && nondecreasing (b :: rest)
+        | _ -> true
+      in
+      nondecreasing fired && List.length fired = List.length delays)
+
+let () =
+  Alcotest.run "vs_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_time_order;
+          Alcotest.test_case "FIFO tie-break" `Quick test_fifo_tiebreak;
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "cancel idempotent" `Quick test_cancel_idempotent;
+          Alcotest.test_case "until horizon" `Quick test_until_horizon;
+          Alcotest.test_case "event budget" `Quick test_event_budget;
+          Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+          Alcotest.test_case "past rejected" `Quick test_past_rejected;
+          Alcotest.test_case "pending count" `Quick test_pending_count;
+          Alcotest.test_case "single step" `Quick test_step;
+          Alcotest.test_case "trace" `Quick test_trace;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          QCheck_alcotest.to_alcotest sim_order_property;
+        ] );
+    ]
