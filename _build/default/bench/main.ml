@@ -6,8 +6,11 @@
    Usage:
      bench/main.exe            run everything (full-size experiments)
      bench/main.exe quick      smaller sweeps (CI-sized)
-     bench/main.exe e4 e10     only the named experiments, full-size
-     bench/main.exe micro      only the Bechamel micro-benchmarks *)
+     bench/main.exe e4 e11     only the named experiments, full-size
+     bench/main.exe micro      only the Bechamel micro-benchmarks
+     bench/main.exe e4 micro   named experiments plus the micro-benchmarks
+
+   Unknown arguments are rejected with a usage message. *)
 
 module Table = Vs_stats.Table
 module E_view = Evs_core.E_view
@@ -26,6 +29,7 @@ let experiments =
     ("e7", "Example 1: file availability under churn", Vs_exp.Exp_file.tables);
     ("e8", "Example 2: parallel look-up coverage", Vs_exp.Exp_db.tables);
     ("e9e10", "Overheads: EVS and flush costs", Vs_exp.Exp_overhead.tables);
+    ("e11", "Loss tolerance: control plane under drop/dup", Vs_exp.Exp_loss.tables);
   ]
 
 let run_experiments ~quick ~only =
@@ -217,13 +221,27 @@ let run_micro () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let quick = List.mem "quick" args in
-  let micro_only = args = [ "micro" ] in
-  let only =
-    List.filter (fun a -> List.mem_assoc a (List.map (fun (id, b, t) -> (id, (b, t))) experiments)) args
+  let known_ids = List.map (fun (id, _, _) -> id) experiments in
+  let unknown =
+    List.filter (fun a -> not (List.mem a ("quick" :: "micro" :: known_ids))) args
   in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown argument(s): %s\n" (String.concat " " unknown);
+    Printf.eprintf
+      "usage: main.exe [quick] [micro] [%s]...\n\
+      \  no arguments        run all experiments plus the micro-benchmarks\n\
+      \  quick               smaller sweeps (CI-sized)\n\
+      \  micro               run the Bechamel micro-benchmarks\n\
+      \  <experiment id>     run only the named experiments\n"
+      (String.concat "|" known_ids);
+    exit 2
+  end;
+  let quick = List.mem "quick" args in
+  let micro = List.mem "micro" args in
+  let only = List.filter (fun a -> List.mem a known_ids) args in
   print_endline
     "On Programming with View Synchrony (ICDCS 1996) — experiment \
      reproduction\n";
-  if not micro_only then run_experiments ~quick ~only;
-  if only = [] then run_micro ()
+  (* Experiment ids and [micro] compose; bare [micro] skips the tables. *)
+  if only <> [] || not micro then run_experiments ~quick ~only;
+  if micro || only = [] then run_micro ()

@@ -25,6 +25,7 @@ let experiments =
     ("e7", Vs_exp.Exp_file.tables);
     ("e8", Vs_exp.Exp_db.tables);
     ("e9e10", Vs_exp.Exp_overhead.tables);
+    ("e11", Vs_exp.Exp_loss.tables);
   ]
 
 let experiment_cmd =
@@ -36,7 +37,9 @@ let experiment_cmd =
       value
       & pos_all (enum (List.map (fun (n, _) -> (n, n)) experiments)) []
       & info [] ~docv:"EXPERIMENT"
-          ~doc:"Experiments to run (e1 e2e3 e4 e5 e6 e7 e8 e9e10); all by default.")
+          ~doc:
+            "Experiments to run (e1 e2e3 e4 e5 e6 e7 e8 e9e10 e11); all by \
+             default.")
   in
   let run quick names =
     let selected =

@@ -19,6 +19,15 @@ type problem = {
 let no_problem =
   { transfer = false; creation = No_creation; merging = false; clusters = 1 }
 
+(* The [clusters] convention, enforced across every classifier: it counts
+   the up-to-date clusters in S_N, so it is 0 exactly when S_N is empty
+   (every creation verdict) and >= 1 otherwise; [merging] holds iff there
+   are at least two.  [no_problem] is the one-cluster case. *)
+let well_formed p =
+  if p.creation <> No_creation then
+    p.clusters = 0 && (not p.transfer) && not p.merging
+  else p.clusters >= 1 && p.merging = (p.clusters >= 2)
+
 let shape p = (p.transfer, p.creation, p.merging)
 
 let problem_to_string p =
@@ -30,7 +39,9 @@ let problem_to_string p =
       | In_progress -> [ "creation(in-progress)" ])
     @ if p.merging then [ Printf.sprintf "merging(%d)" p.clusters ] else []
   in
-  match tags with [] -> "none" | tags -> String.concat "+" tags
+  match tags with
+  | [] -> Printf.sprintf "none(%d cluster)" p.clusters
+  | tags -> String.concat "+" tags
 
 (* ---------- oracle ---------- *)
 

@@ -40,12 +40,24 @@ type problem = {
   transfer : bool;
   creation : creation_kind;
   merging : bool;
-  clusters : int;  (** number of up-to-date clusters (0 when [S_N] empty) *)
+  clusters : int;
+      (** Number of up-to-date clusters in [S_N].  Convention (uniform
+          across all classifiers, checked by {!well_formed}): [0] exactly
+          when [S_N] is empty — i.e. for every creation verdict — and
+          [>= 1] otherwise, with [merging] holding iff [clusters >= 2].
+          Local classifiers that cannot count report the lower bound
+          ([1], or [2] when merging is possible). *)
 }
 [@@deriving eq, ord, show]
 
 val no_problem : problem
-(** Everyone up to date, single cluster. *)
+(** Everyone up to date: no transfer/creation/merging, [clusters = 1]. *)
+
+val well_formed : problem -> bool
+(** The [clusters] convention above: creation verdicts carry [clusters = 0]
+    and no other flag; everything else carries [clusters >= 1] with
+    [merging = (clusters >= 2)].  Every verdict built by {!exact},
+    {!enriched}, {!flat} and {!flat_one_at_a_time} satisfies it. *)
 
 val shape : problem -> bool * creation_kind * bool
 (** The (transfer, creation, merging) triple — what classifiers can be

@@ -1,0 +1,1 @@
+lib/exp/exp_loss.ml: Float Int64 List Printf Vs_harness Vs_net Vs_sim Vs_stats Vs_vsync

@@ -276,3 +276,12 @@ let check_total_order_messages t =
 let check_all t =
   check_agreement t @ check_uniqueness t @ check_integrity t @ check_fifo t
   @ check_total_order_messages t
+
+let check_summary t =
+  [
+    ("agreement", List.length (check_agreement t));
+    ("uniqueness", List.length (check_uniqueness t));
+    ("integrity", List.length (check_integrity t));
+    ("fifo", List.length (check_fifo t));
+    ("total-order", List.length (check_total_order_messages t));
+  ]

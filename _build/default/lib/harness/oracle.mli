@@ -59,6 +59,11 @@ val check_total_order_messages : t -> string list
 
 val check_all : t -> string list
 
+val check_summary : t -> (string * int) list
+(** Violation counts per property, in the order agreement, uniqueness,
+    integrity, fifo, total-order — the row format of the loss-tolerance
+    experiment (E11). *)
+
 (** {2 Introspection} *)
 
 val deliveries_of : t -> proc:Proc_id.t -> (View.Id.t * msg_id) list

@@ -163,6 +163,44 @@ let pump_traffic t ~start ~until ~mean_gap =
   in
   arm start
 
+(* Endpoint counters summed over the live endpoints — the cluster-level
+   view of retry/NACK activity for experiments and tests. *)
+let stats_total t =
+  List.fold_left
+    (fun (acc : Endpoint.stats) ep ->
+      let s = Endpoint.stats ep in
+      {
+        Endpoint.views_installed = acc.Endpoint.views_installed + s.Endpoint.views_installed;
+        proposals_started = acc.Endpoint.proposals_started + s.Endpoint.proposals_started;
+        data_sent = acc.Endpoint.data_sent + s.Endpoint.data_sent;
+        delivered = acc.Endpoint.delivered + s.Endpoint.delivered;
+        sync_delivered = acc.Endpoint.sync_delivered + s.Endpoint.sync_delivered;
+        stale_dropped = acc.Endpoint.stale_dropped + s.Endpoint.stale_dropped;
+        to_dropped = acc.Endpoint.to_dropped + s.Endpoint.to_dropped;
+        nacks_sent = acc.Endpoint.nacks_sent + s.Endpoint.nacks_sent;
+        retransmits = acc.Endpoint.retransmits + s.Endpoint.retransmits;
+        peer_retransmits = acc.Endpoint.peer_retransmits + s.Endpoint.peer_retransmits;
+        stabilized = acc.Endpoint.stabilized + s.Endpoint.stabilized;
+        ctl_retries = acc.Endpoint.ctl_retries + s.Endpoint.ctl_retries;
+        ctl_abandoned = acc.Endpoint.ctl_abandoned + s.Endpoint.ctl_abandoned;
+      })
+    {
+      Endpoint.views_installed = 0;
+      proposals_started = 0;
+      data_sent = 0;
+      delivered = 0;
+      sync_delivered = 0;
+      stale_dropped = 0;
+      to_dropped = 0;
+      nacks_sent = 0;
+      retransmits = 0;
+      peer_retransmits = 0;
+      stabilized = 0;
+      ctl_retries = 0;
+      ctl_abandoned = 0;
+    }
+    (live_endpoints t)
+
 let views_installed_per_process t = Oracle.install_counts t.oracle
 
 let stable_view_reached t =

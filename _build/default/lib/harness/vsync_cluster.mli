@@ -48,6 +48,10 @@ val pump_traffic :
 (** Schedule random multicasts: at exponentially-spaced instants a random
     live node multicasts one message (80% FIFO / 20% total order). *)
 
+val stats_total : t -> Endpoint.stats
+(** Endpoint counters summed over the live endpoints (retry/NACK activity
+    for the loss experiments). *)
+
 val views_installed_per_process : t -> (Proc_id.t * int) list
 (** Install counts including dead incarnations — the E4 metric. *)
 

@@ -191,7 +191,12 @@ let send_node t ~src ~dst_node payload =
           (Hashtbl.find t.handlers dst) { src; dst; sent_at; payload }
       | Some _ | None -> t.dropped <- t.dropped + 1
     in
-    ignore (Sim.after t.sim (sample_delay t ~bytes) deliver)
+    ignore (Sim.after t.sim (sample_delay t ~bytes) deliver);
+    (* Same duplication model as [send_to]: self-sends exempt. *)
+    if src.Proc_id.node <> dst_node && Rng.bool t.rng t.config.dup_prob then begin
+      t.duplicated <- t.duplicated + 1;
+      ignore (Sim.after t.sim (sample_delay t ~bytes) deliver)
+    end
   end
 
 let stats t =

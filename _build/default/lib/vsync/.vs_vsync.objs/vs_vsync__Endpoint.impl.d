@@ -1,1 +1,1 @@
-lib/vsync/endpoint.ml: Hashtbl List Printf String Vs_fd Vs_gms Vs_net Vs_sim Vs_util Wire
+lib/vsync/endpoint.ml: Float Hashtbl List Printf Queue String Vs_fd Vs_gms Vs_net Vs_sim Vs_util Wire

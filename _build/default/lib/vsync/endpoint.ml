@@ -5,6 +5,7 @@ module Fd = Vs_fd.Fd
 module View = Vs_gms.View
 module Estimator = Vs_gms.Estimator
 module Listx = Vs_util.Listx
+module Rng = Vs_util.Rng
 
 type order = Fifo | Total | Causal
 
@@ -16,6 +17,10 @@ type config = {
   nack_delay : float;
   one_at_a_time : bool;
   stability_interval : float option;
+  retry_backoff : float;
+  retry_backoff_max : float;
+  retry_jitter : float;
+  retry_limit : int;
 }
 
 let default_config =
@@ -27,6 +32,10 @@ let default_config =
     nack_delay = 0.025;
     one_at_a_time = false;
     stability_interval = Some 0.050;
+    retry_backoff = 0.040;
+    retry_backoff_max = 0.400;
+    retry_jitter = 0.25;
+    retry_limit = 8;
   }
 
 type 'ann view_event = {
@@ -50,7 +59,10 @@ type stats = {
   to_dropped : int;
   nacks_sent : int;
   retransmits : int;
+  peer_retransmits : int;
   stabilized : int;
+  ctl_retries : int;
+  ctl_abandoned : int;
 }
 
 (* Per-sender incoming stream within the current view.  [log] keeps every
@@ -61,6 +73,10 @@ type 'a stream = {
   buffer : (int, 'a Wire.data) Hashtbl.t;
   log : (int, 'a Wire.data) Hashtbl.t;
   mutable nack_armed : bool;
+  mutable nack_round : int;
+      (* how many NACK rounds the current gap has survived; selects the
+         retransmission target — round 0 asks the original sender, later
+         rounds rotate over the other members (peer-served recovery) *)
 }
 
 (* What a member reported in its flush ack: the view it comes from, its
@@ -80,11 +96,22 @@ type ('a, 'ann) proposal = {
 
 type phase = Active | Flushing of View.Id.t
 
+(* One unacked control-plane send awaiting retry.  The payload and the
+   supersession test live in the retry closure; the entry itself is what
+   {!Ctl_ack} and {!stop_stack} need to cancel it. *)
+type ctl_pending = {
+  c_dst : Proc_id.t;
+  mutable c_attempts : int;
+  mutable c_delay : float;
+  mutable c_timer : Sim.handle option;
+}
+
 type ('a, 'ann) t = {
   sim : Sim.t;
   net : ('a, 'ann) Wire.t Net.t;
   me : Proc_id.t;
   config : config;
+  rng : Rng.t;
   mutable callbacks : ('a, 'ann) callbacks;
   mutable view : View.t;
   mutable phase : phase;
@@ -95,7 +122,10 @@ type ('a, 'ann) t = {
   (* coordinator side: per-origin relay sequencing *)
   to_streams : (Proc_id.t, int ref * (int, 'a) Hashtbl.t) Hashtbl.t;
   streams : (Proc_id.t, 'a stream) Hashtbl.t;
-  mutable pending_out : (order * 'a) list;  (* queued while flushing *)
+  pending_out : (order * 'a) Queue.t;  (* queued while flushing *)
+  (* reliable control plane: unacked Propose/Flush_ack/Install/To_request *)
+  mutable ctl_rid : int;
+  ctl_pending : (int, ctl_pending) Hashtbl.t;
   mutable stash : 'a Wire.data list;
       (* data for the view being installed that raced ahead of the Install *)
   mutable stash_to : (Proc_id.t * int * 'a) list;
@@ -118,7 +148,10 @@ type ('a, 'ann) t = {
   mutable s_to_dropped : int;
   mutable s_nacks : int;
   mutable s_retransmits : int;
+  mutable s_peer_retransmits : int;
   mutable s_stabilized : int;
+  mutable s_ctl_retries : int;
+  mutable s_ctl_abandoned : int;
 }
 
 let me t = t.me
@@ -140,7 +173,10 @@ let stats t =
     to_dropped = t.s_to_dropped;
     nacks_sent = t.s_nacks;
     retransmits = t.s_retransmits;
+    peer_retransmits = t.s_peer_retransmits;
     stabilized = t.s_stabilized;
+    ctl_retries = t.s_ctl_retries;
+    ctl_abandoned = t.s_ctl_abandoned;
   }
 
 let set_annotation t ann = t.ann <- ann
@@ -151,12 +187,99 @@ let log_event t msg =
 
 let unicast t dst payload = Net.send t.net ~src:t.me ~dst payload
 
+(* ---------- reliable control plane ----------
+
+   Membership traffic (Propose, Flush_ack, Install) and total-order requests
+   are each sent exactly once by the base protocol, so any loss either stalls
+   view installation until [flush_timeout] or silently drops a message.  The
+   reliable layer wraps such sends in {!Wire.Reliable}: the receiver acks
+   every copy, and the sender re-sends with exponential backoff and jitter
+   until acked, superseded (the [is_done] test — e.g. a higher view id got
+   accepted), the failure detector stops listing the peer, or [retry_limit]
+   is exhausted.  Inner payloads are idempotent on the receiving side, so
+   duplicated deliveries (lost acks) are harmless. *)
+
+let ctl_peer_listed t dst =
+  Proc_id.equal dst t.me
+  ||
+  match t.fd with
+  | Some fd -> List.exists (Proc_id.equal dst) (Fd.reachable fd)
+  | None -> true
+
+let ctl_cancel entry =
+  match entry.c_timer with Some h -> Sim.cancel h | None -> ()
+
+let rec ctl_arm t rid entry payload ~is_done =
+  let jitter = Rng.uniform t.rng (-.t.config.retry_jitter) t.config.retry_jitter in
+  let delay = entry.c_delay *. (1.0 +. jitter) in
+  entry.c_timer <-
+    Some
+      (Sim.after t.sim delay (fun () ->
+           entry.c_timer <- None;
+           if t.alive && Hashtbl.mem t.ctl_pending rid then begin
+             if is_done () then Hashtbl.remove t.ctl_pending rid
+             else if
+               entry.c_attempts >= t.config.retry_limit
+               || not (ctl_peer_listed t entry.c_dst)
+             then begin
+               t.s_ctl_abandoned <- t.s_ctl_abandoned + 1;
+               Hashtbl.remove t.ctl_pending rid
+             end
+             else begin
+               entry.c_attempts <- entry.c_attempts + 1;
+               entry.c_delay <-
+                 Float.min t.config.retry_backoff_max (entry.c_delay *. 2.0);
+               t.s_ctl_retries <- t.s_ctl_retries + 1;
+               unicast t entry.c_dst (Wire.Reliable { rid; payload });
+               ctl_arm t rid entry payload ~is_done
+             end
+           end))
+
+(* Send [payload] to [dst], retrying until acked or moot.  [is_done] is
+   re-evaluated before each retry: it must return [true] once protocol
+   progress has made the send irrelevant.  Self-sends bypass the machinery —
+   the simulated network never drops them. *)
+let ctl_send t dst payload ~is_done =
+  if Proc_id.equal dst t.me then unicast t dst payload
+  else begin
+    let rid = t.ctl_rid in
+    t.ctl_rid <- t.ctl_rid + 1;
+    let entry =
+      {
+        c_dst = dst;
+        c_attempts = 0;
+        c_delay = t.config.retry_backoff;
+        c_timer = None;
+      }
+    in
+    Hashtbl.replace t.ctl_pending rid entry;
+    unicast t dst (Wire.Reliable { rid; payload });
+    ctl_arm t rid entry payload ~is_done
+  end
+
+let ctl_acked t rid =
+  match Hashtbl.find_opt t.ctl_pending rid with
+  | Some entry ->
+      ctl_cancel entry;
+      Hashtbl.remove t.ctl_pending rid
+  | None -> ()
+
+let ctl_reset t =
+  Hashtbl.iter (fun _ entry -> ctl_cancel entry) t.ctl_pending;
+  Hashtbl.reset t.ctl_pending
+
 let stream_for t sender =
   match Hashtbl.find_opt t.streams sender with
   | Some s -> s
   | None ->
       let s =
-        { next = 0; buffer = Hashtbl.create 8; log = Hashtbl.create 8; nack_armed = false }
+        {
+          next = 0;
+          buffer = Hashtbl.create 8;
+          log = Hashtbl.create 8;
+          nack_armed = false;
+          nack_round = 0;
+        }
       in
       Hashtbl.add t.streams sender s;
       s
@@ -238,6 +361,20 @@ let drain_all t =
       t.streams
   done
 
+(* Where to send the [round]-th NACK for a gap in [sender]'s stream: the
+   original sender first, then round-robin over the other view members —
+   any member that logged the messages can serve them, so a crashed
+   sender's tail stays recoverable until the flush. *)
+let nack_target t sender round =
+  if round = 0 then sender
+  else
+    let peers =
+      List.filter (fun m -> not (Proc_id.equal m t.me)) t.view.View.members
+    in
+    match peers with
+    | [] -> sender
+    | peers -> List.nth peers (round mod List.length peers)
+
 let rec arm_nack t sender s =
   if (not s.nack_armed) && Hashtbl.length s.buffer > 0 then begin
     s.nack_armed <- true;
@@ -259,11 +396,14 @@ let rec arm_nack t sender s =
              done;
              if !missing <> [] then begin
                t.s_nacks <- t.s_nacks + 1;
-               unicast t sender
-                 (Wire.Nack { vid = vid_at_arm; sender; missing = !missing })
+               unicast t
+                 (nack_target t sender s.nack_round)
+                 (Wire.Nack { vid = vid_at_arm; sender; missing = !missing });
+               s.nack_round <- s.nack_round + 1
              end;
              arm_nack t sender s
-           end))
+           end
+           else if Hashtbl.length s.buffer = 0 then s.nack_round <- 0))
   end
 
 let members_iter t f = List.iter f t.view.View.members
@@ -279,7 +419,7 @@ let send_data t body =
 let rec multicast t ?(order = Fifo) payload =
   if t.alive then
     match t.phase with
-    | Flushing _ -> t.pending_out <- t.pending_out @ [ (order, payload) ]
+    | Flushing _ -> Queue.add (order, payload) t.pending_out
     | Active -> (
         match order with
         | Fifo -> send_data t (Wire.User payload)
@@ -293,15 +433,16 @@ let rec multicast t ?(order = Fifo) payload =
             send_data t (Wire.Causal { deps; user = payload })
         | Total ->
             let coord = View.coordinator t.view in
+            let vid = t.view.View.id in
             let rseq = t.to_seq in
             t.to_seq <- t.to_seq + 1;
-            unicast t coord
-              (Wire.To_request { vid = t.view.View.id; rseq; user = payload }))
+            ctl_send t coord (Wire.To_request { vid; rseq; user = payload })
+              ~is_done:(fun () -> not (View.Id.equal t.view.View.id vid)))
 
 and flush_pending t =
-  let queued = t.pending_out in
-  t.pending_out <- [];
-  List.iter (fun (order, payload) -> multicast t ~order payload) queued
+  let queued = Queue.create () in
+  Queue.transfer t.pending_out queued;
+  Queue.iter (fun (order, payload) -> multicast t ~order payload) queued
 
 (* ---------- membership protocol ---------- *)
 
@@ -317,9 +458,14 @@ let abandon_proposal t =
 
 let send_flush_ack t pvid coordinator =
   let seen = all_seen t in
-  unicast t coordinator
-    (Wire.Flush_ack
-       { pvid; from_view = t.view.View.id; seen; ann = t.ann })
+  (* Moot once this flush is over: either the Install for [pvid] arrived
+     (phase Active) or a higher proposal superseded it. *)
+  ctl_send t coordinator
+    (Wire.Flush_ack { pvid; from_view = t.view.View.id; seen; ann = t.ann })
+    ~is_done:(fun () ->
+      match t.phase with
+      | Flushing fvid -> not (View.Id.equal fvid pvid)
+      | Active -> true)
 
 let rec handle_target t target =
   if t.alive then begin
@@ -377,8 +523,15 @@ and start_proposal t members =
                    | None -> ())
                | None -> ())
            | Some _ | None -> ()));
+  (* Retried until the member's Flush_ack lands in [p_acks], or this
+     proposal is no longer the one in flight. *)
   List.iter
-    (fun dst -> unicast t dst (Wire.Propose { pvid; members }))
+    (fun dst ->
+      ctl_send t dst (Wire.Propose { pvid; members })
+        ~is_done:(fun () ->
+          match t.proposal with
+          | Some p when View.Id.equal p.p_vid pvid -> Hashtbl.mem p.p_acks dst
+          | Some _ | None -> true))
     members
 
 and handle_propose t ~pvid ~members =
@@ -452,7 +605,14 @@ and finalize_proposal t p =
   let priors = List.map (fun (m, a) -> (m, a.a_from)) acks in
   let new_view = View.make p.p_vid p.p_members in
   let install = Wire.Install { pvid = p.p_vid; view = new_view; sync; anns; priors } in
-  List.iter (fun dst -> unicast t dst install) p.p_members
+  (* Retried until acked: the receiver acks on delivery even if it has
+     already moved on.  Superseded once something beyond [p_vid] has been
+     accepted here (a competing proposal won). *)
+  List.iter
+    (fun dst ->
+      ctl_send t dst install
+        ~is_done:(fun () -> View.Id.compare t.acked p.p_vid > 0))
+    p.p_members
 
 and handle_install t ~pvid ~view:new_view ~sync ~anns ~priors =
   match t.phase with
@@ -625,9 +785,12 @@ let rec stability_tick t interval () =
     ignore (Sim.after t.sim interval (stability_tick t interval))
   end
 
-let handle_nack t ~src ~vid ~missing =
+(* Serve a retransmission request for [sender]'s stream from our own log of
+   it — whoever we are.  Peer-served gaps are what keep a crashed sender's
+   tail recoverable before the next flush. *)
+let handle_nack t ~src ~vid ~sender ~missing =
   if View.Id.equal vid t.view.View.id then begin
-    match Hashtbl.find_opt t.streams t.me with
+    match Hashtbl.find_opt t.streams sender with
     | None -> ()
     | Some s ->
         let found =
@@ -635,44 +798,53 @@ let handle_nack t ~src ~vid ~missing =
         in
         if found <> [] then begin
           t.s_retransmits <- t.s_retransmits + List.length found;
+          if not (Proc_id.equal sender t.me) then
+            t.s_peer_retransmits <- t.s_peer_retransmits + List.length found;
           unicast t src (Wire.Retransmit found)
         end
   end
 
 (* ---------- wiring ---------- *)
 
+let rec handle_payload t ~src payload =
+  match payload with
+  | Wire.Reliable { rid; payload } ->
+      (* Ack every copy — the sender stops once one ack survives the wire —
+         then process the inner payload, which is idempotent. *)
+      unicast t src (Wire.Ctl_ack { rid });
+      handle_payload t ~src payload
+  | Wire.Ctl_ack { rid } -> ctl_acked t rid
+  | Wire.Heartbeat -> (
+      match t.fd with
+      | Some fd -> Fd.heartbeat_received fd ~from:src
+      | None -> ())
+  | Wire.Leave_announce -> (
+      match t.fd with Some fd -> Fd.forget fd src | None -> ())
+  | Wire.Data d -> handle_data t d
+  | Wire.To_request { vid; rseq; user } -> (
+      if View.Id.equal vid t.view.View.id then
+        handle_to_request t ~orig:src ~rseq ~user
+      else
+        match t.phase with
+        | Flushing pvid when View.Id.equal vid pvid ->
+            (* For the view we are about to install: relay it once we
+               have, if we turn out to be its coordinator. *)
+            t.stash_to <- t.stash_to @ [ (src, rseq, user) ]
+        | Flushing _ | Active -> t.s_to_dropped <- t.s_to_dropped + 1)
+  | Wire.Nack { vid; sender; missing } -> handle_nack t ~src ~vid ~sender ~missing
+  | Wire.Stable_report { vid; vector } ->
+      handle_stable_report t ~src ~vid ~vector
+  | Wire.Retransmit ds -> List.iter (handle_data t) ds
+  | Wire.Propose { pvid; members } -> handle_propose t ~pvid ~members
+  | Wire.Propose_reject { pvid; max_vid } ->
+      handle_propose_reject t ~pvid ~max_vid
+  | Wire.Flush_ack { pvid; from_view; seen; ann } ->
+      handle_flush_ack t ~src ~pvid ~from_view ~seen ~ann
+  | Wire.Install { pvid; view; sync; anns; priors } ->
+      handle_install t ~pvid ~view ~sync ~anns ~priors
+
 let handle_envelope t (env : ('a, 'ann) Wire.t Net.envelope) =
-  if t.alive then
-    match env.Net.payload with
-    | Wire.Heartbeat -> (
-        match t.fd with
-        | Some fd -> Fd.heartbeat_received fd ~from:env.Net.src
-        | None -> ())
-    | Wire.Leave_announce -> (
-        match t.fd with Some fd -> Fd.forget fd env.Net.src | None -> ())
-    | Wire.Data d -> handle_data t d
-    | Wire.To_request { vid; rseq; user } -> (
-        if View.Id.equal vid t.view.View.id then
-          handle_to_request t ~orig:env.Net.src ~rseq ~user
-        else
-          match t.phase with
-          | Flushing pvid when View.Id.equal vid pvid ->
-              (* For the view we are about to install: relay it once we
-                 have, if we turn out to be its coordinator. *)
-              t.stash_to <- t.stash_to @ [ (env.Net.src, rseq, user) ]
-          | Flushing _ | Active -> t.s_to_dropped <- t.s_to_dropped + 1)
-    | Wire.Nack { vid; missing; _ } ->
-        handle_nack t ~src:env.Net.src ~vid ~missing
-    | Wire.Stable_report { vid; vector } ->
-        handle_stable_report t ~src:env.Net.src ~vid ~vector
-    | Wire.Retransmit ds -> List.iter (handle_data t) ds
-    | Wire.Propose { pvid; members } -> handle_propose t ~pvid ~members
-    | Wire.Propose_reject { pvid; max_vid } ->
-        handle_propose_reject t ~pvid ~max_vid
-    | Wire.Flush_ack { pvid; from_view; seen; ann } ->
-        handle_flush_ack t ~src:env.Net.src ~pvid ~from_view ~seen ~ann
-    | Wire.Install { pvid; view; sync; anns; priors } ->
-        handle_install t ~pvid ~view ~sync ~anns ~priors
+  if t.alive then handle_payload t ~src:env.Net.src env.Net.payload
 
 let create sim net ~me:me_ ~universe ~config ~callbacks =
   let t =
@@ -681,6 +853,7 @@ let create sim net ~me:me_ ~universe ~config ~callbacks =
       net;
       me = me_;
       config;
+      rng = Sim.fork_rng sim;
       callbacks;
       view = View.singleton me_;
       phase = Active;
@@ -690,7 +863,9 @@ let create sim net ~me:me_ ~universe ~config ~callbacks =
       to_seq = 0;
       to_streams = Hashtbl.create 8;
       streams = Hashtbl.create 16;
-      pending_out = [];
+      pending_out = Queue.create ();
+      ctl_rid = 0;
+      ctl_pending = Hashtbl.create 16;
       stash = [];
       stash_to = [];
       ann = None;
@@ -708,7 +883,10 @@ let create sim net ~me:me_ ~universe ~config ~callbacks =
       s_to_dropped = 0;
       s_nacks = 0;
       s_retransmits = 0;
+      s_peer_retransmits = 0;
       s_stabilized = 0;
+      s_ctl_retries = 0;
+      s_ctl_abandoned = 0;
     }
   in
   Net.register net me_ (fun env -> handle_envelope t env);
@@ -749,6 +927,7 @@ let stop_stack t =
   t.alive <- false;
   (match t.fd with Some fd -> Fd.stop fd | None -> ());
   (match t.est with Some est -> Estimator.stop est | None -> ());
+  ctl_reset t;
   abandon_proposal t
 
 let leave t =

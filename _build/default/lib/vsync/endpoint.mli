@@ -47,6 +47,16 @@ type config = {
           every member) are trimmed from flush reports and logs, bounding
           the synchronisation cost of view changes.  [None] disables
           stability tracking (the E10 ablation). *)
+  retry_backoff : float;
+      (** initial re-send delay for unacked control-plane messages
+          (Propose, Flush_ack, Install, To_request) *)
+  retry_backoff_max : float;  (** backoff doubles per attempt up to this *)
+  retry_jitter : float;
+      (** each retry delay is scaled by a uniform factor in
+          [1 - retry_jitter, 1 + retry_jitter] to de-synchronise senders *)
+  retry_limit : int;
+      (** re-sends per message before giving up (the failure detector and
+          flush timeout own recovery beyond that) *)
 }
 
 val default_config : config
@@ -113,8 +123,15 @@ type stats = {
   stale_dropped : int;   (** data for a view other than the current one *)
   to_dropped : int;      (** total-order requests lost to view changes *)
   nacks_sent : int;
-  retransmits : int;
+  retransmits : int;     (** data messages served in answer to NACKs *)
+  peer_retransmits : int;
+      (** of [retransmits], those served for another sender's stream —
+          the peer-served recovery path *)
   stabilized : int;      (** log entries trimmed as stable *)
+  ctl_retries : int;
+      (** control-plane re-sends by the reliable-delivery layer *)
+  ctl_abandoned : int;
+      (** reliable sends given up on (peer dead or [retry_limit] hit) *)
 }
 
 val stats : ('a, 'ann) t -> stats

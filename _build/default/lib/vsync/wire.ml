@@ -21,6 +21,8 @@ type ('a, 'ann) t =
   | Nack of { vid : View.Id.t; sender : Proc_id.t; missing : int list }
   | Stable_report of { vid : View.Id.t; vector : (Proc_id.t * int) list }
   | Retransmit of 'a data list
+  | Reliable of { rid : int; payload : ('a, 'ann) t }
+  | Ctl_ack of { rid : int }
   | Propose of { pvid : View.Id.t; members : Proc_id.t list }
   | Propose_reject of { pvid : View.Id.t; max_vid : View.Id.t }
   | Flush_ack of {
@@ -53,7 +55,7 @@ let size_of_body ~user = function
 
 let size_of_data ~user d = header + id_size + size_of_body ~user d.body
 
-let size_of ~user ~ann = function
+let rec size_of ~user ~ann = function
   | Heartbeat -> header
   | Leave_announce -> header
   | Data d -> size_of_data ~user d
@@ -63,6 +65,8 @@ let size_of ~user ~ann = function
       header + id_size + (12 * List.length vector)
   | Retransmit ds ->
       List.fold_left (fun acc d -> acc + size_of_data ~user d) header ds
+  | Reliable { payload; _ } -> 4 + size_of ~user ~ann payload
+  | Ctl_ack _ -> header + 4
   | Propose { members; _ } ->
       header + id_size + (id_size * List.length members)
   | Propose_reject _ -> header + (2 * id_size)

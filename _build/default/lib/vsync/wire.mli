@@ -35,7 +35,10 @@ type ('a, 'ann) t =
       vid : Vs_gms.View.Id.t;
       sender : Vs_net.Proc_id.t;
       missing : int list;
-    }  (** Request retransmission of [sender]'s sequence numbers. *)
+    }  (** Request retransmission of [sender]'s sequence numbers.  Any
+           member that logged them may serve the gap from its own copy of
+           the stream — recovery does not depend on the original sender
+           staying alive. *)
   | Stable_report of {
       vid : Vs_gms.View.Id.t;
       vector : (Vs_net.Proc_id.t * int) list;
@@ -44,6 +47,15 @@ type ('a, 'ann) t =
               which flush reports need not carry messages *)
     }
   | Retransmit of 'a data list
+  | Reliable of { rid : int; payload : ('a, 'ann) t }
+      (** Retried control-plane envelope: the sender re-sends [payload]
+          (with exponential backoff) until it receives [Ctl_ack rid], the
+          send is superseded by protocol progress, or the peer is declared
+          dead.  [rid] is unique per sender; receivers ack every copy, so
+          duplicate delivery of the inner payload must be (and is)
+          idempotent. *)
+  | Ctl_ack of { rid : int }
+      (** Acknowledges receipt of [Reliable { rid; _ }] from the acker. *)
   | Propose of { pvid : Vs_gms.View.Id.t; members : Vs_net.Proc_id.t list }
   | Propose_reject of { pvid : Vs_gms.View.Id.t; max_vid : Vs_gms.View.Id.t }
       (** The receiver has already accepted [max_vid] >= [pvid]; lets a

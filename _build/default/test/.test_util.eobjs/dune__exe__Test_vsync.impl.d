@@ -1,1 +1,1 @@
-test/test_vsync.ml: Alcotest Hashtbl Int64 List Option QCheck QCheck_alcotest Vs_gms Vs_harness Vs_net Vs_sim Vs_util Vs_vsync
+test/test_vsync.ml: Alcotest Hashtbl Int64 List Option Printf QCheck QCheck_alcotest Vs_gms Vs_harness Vs_net Vs_sim Vs_util Vs_vsync

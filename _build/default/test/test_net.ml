@@ -88,6 +88,21 @@ let test_duplication () =
   check Alcotest.int "delivered twice" 2 (List.length !inbox);
   check Alcotest.int "duplication counted" 1 (Net.stats net).Net.duplicated
 
+let test_send_node_duplication () =
+  (* Node-addressed sends go through the same fault model as
+     process-addressed ones. *)
+  let config = { Net.default_config with Net.dup_prob = 1.0 } in
+  let sim, net = setup ~config () in
+  let inbox = register_collecting net p1 in
+  let self_inbox = register_collecting net p0 in
+  Net.send_node net ~src:p0 ~dst_node:1 "twice";
+  Net.send_node net ~src:p0 ~dst_node:0 "self";
+  ignore (Sim.run sim);
+  check Alcotest.int "node send delivered twice" 2 (List.length !inbox);
+  check Alcotest.int "self node send immune to duplication" 1
+    (List.length !self_inbox);
+  check Alcotest.int "node duplication counted" 1 (Net.stats net).Net.duplicated
+
 (* ---------- partitions ---------- *)
 
 let test_partition_blocks () =
@@ -210,6 +225,8 @@ let () =
           Alcotest.test_case "dead source" `Quick test_send_from_dead_source;
           Alcotest.test_case "full loss" `Quick test_full_loss;
           Alcotest.test_case "duplication" `Quick test_duplication;
+          Alcotest.test_case "node-send duplication" `Quick
+            test_send_node_duplication;
         ] );
       ( "partitions",
         [

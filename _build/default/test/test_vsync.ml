@@ -445,6 +445,74 @@ let random_campaign_property =
       let errs, stable = campaign (Int64.of_int (seed + 1)) in
       errs = [] && stable)
 
+(* Property-style sweep: the full VS spec must hold across the loss/dup
+   grid that the reliable control plane is meant to absorb, including a
+   crash mid-run (so flushes happen on the lossy links too). *)
+let loss_sweep_run ~drop ~dup ~seed =
+  let net_config =
+    { Net.default_config with Net.drop_prob = drop; Net.dup_prob = dup }
+  in
+  let c = Cluster.create ~seed ~net_config ~n:4 () in
+  Cluster.run c ~until:4.0;
+  for _ = 1 to 5 do
+    Cluster.multicast_from c ~node:0 ();
+    Cluster.multicast_from c ~node:1 ~order:Endpoint.Total ();
+    Cluster.multicast_from c ~node:2 ()
+  done;
+  Cluster.run c ~until:5.0;
+  Cluster.apply_action c (Faults.Crash 3);
+  Cluster.run c ~until:8.0;
+  no_errors
+    (Printf.sprintf "loss sweep drop=%.2f dup=%.2f seed=%Ld" drop dup seed)
+    (Oracle.check_all (Cluster.oracle c));
+  check Alcotest.bool
+    (Printf.sprintf "stable drop=%.2f dup=%.2f seed=%Ld" drop dup seed)
+    true (Cluster.stable_view_reached c);
+  Cluster.stats_total c
+
+let test_loss_dup_sweep () =
+  let heavy_loss_retries = ref 0 in
+  List.iter
+    (fun drop ->
+      List.iter
+        (fun dup ->
+          List.iter
+            (fun seed ->
+              let st = loss_sweep_run ~drop ~dup ~seed in
+              if drop >= 0.2 then
+                heavy_loss_retries :=
+                  !heavy_loss_retries + st.Endpoint.ctl_retries)
+            [ 21L; 22L; 23L ])
+        [ 0.0; 0.1 ])
+    [ 0.0; 0.05; 0.2 ];
+  (* At 20% loss the retry layer must actually be doing work. *)
+  check Alcotest.bool "control retries under heavy loss" true
+    (!heavy_loss_retries > 0)
+
+(* Regression for peer-served retransmits: messages from a sender that
+   crashes right after multicasting can only be recovered from the logs of
+   the surviving members (the NACK rotation).  Several seeds are run; all
+   must satisfy the spec and at least one must exercise the peer path. *)
+let test_peer_served_retransmit () =
+  let peer_served = ref 0 in
+  List.iter
+    (fun seed ->
+      let net_config = { Net.default_config with Net.drop_prob = 0.25 } in
+      let c = Cluster.create ~seed ~net_config ~n:3 () in
+      Cluster.run c ~until:3.0;
+      for _ = 1 to 20 do
+        Cluster.multicast_from c ~node:2 ()
+      done;
+      Cluster.apply_action c (Faults.Crash 2);
+      Cluster.run c ~until:7.0;
+      no_errors
+        (Printf.sprintf "peer retransmit seed=%Ld" seed)
+        (Oracle.check_all (Cluster.oracle c));
+      let st = Cluster.stats_total c in
+      peer_served := !peer_served + st.Endpoint.peer_retransmits)
+    [ 301L; 302L; 303L; 304L; 305L ];
+  check Alcotest.bool "gaps served from a peer's log" true (!peer_served > 0)
+
 let test_lossy_campaign () =
   let net_config = { Net.default_config with Net.drop_prob = 0.05 } in
   let c = Cluster.create ~seed:911L ~net_config ~n:5 () in
@@ -507,5 +575,8 @@ let () =
         [
           QCheck_alcotest.to_alcotest ~long:false random_campaign_property;
           Alcotest.test_case "lossy campaign" `Slow test_lossy_campaign;
+          Alcotest.test_case "loss/dup sweep" `Slow test_loss_dup_sweep;
+          Alcotest.test_case "peer-served retransmit" `Quick
+            test_peer_served_retransmit;
         ] );
     ]

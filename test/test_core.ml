@@ -617,6 +617,59 @@ let test_flat_one_at_a_time () =
         (v.Classify.creation = Classify.Rebirth)
   | other -> Alcotest.failf "expected singleton, got %d" (List.length other)
 
+let test_classify_well_formed () =
+  (* Every verdict any classifier builds obeys the clusters convention:
+     creation verdicts carry clusters = 0 and no other flag, everything else
+     clusters >= 1 with merging iff clusters >= 2. *)
+  let assert_wf what v =
+    check Alcotest.bool
+      (Printf.sprintf "%s well-formed: %s" what (Classify.problem_to_string v))
+      true (Classify.well_formed v)
+  in
+  assert_wf "no_problem" Classify.no_problem;
+  let pr =
+    fun q ->
+      List.assoc q
+        [
+          (p 0, (Classify.Was_normal, Some (vid 2 0)));
+          (p 1, (Classify.Was_normal, Some (vid 2 0)));
+          (p 2, (Classify.Was_normal, Some (vid 3 2)));
+          (p 3, (Classify.Was_fresh, None));
+        ]
+  in
+  assert_wf "exact merge+transfer"
+    (Classify.exact ~members:[ p 0; p 1; p 2; p 3 ] ~prior:pr);
+  let pr_rebirth =
+    fun q ->
+      List.assoc q
+        [
+          (p 0, (Classify.Was_reduced, Some (vid 1 0)));
+          (p 1, (Classify.Was_fresh, None));
+        ]
+  in
+  assert_wf "exact rebirth" (Classify.exact ~members:[ p 0; p 1 ] ~prior:pr_rebirth);
+  let ev =
+    build_eview (vid 4 0) [ p 0; p 1; p 2; p 3 ]
+      [
+        (p 0, 0, 0, Some (vid 3 0));
+        (p 1, 0, 0, Some (vid 3 0));
+        (p 2, 2, 2, Some (vid 3 2));
+        (p 3, 3, 3, None);
+      ]
+  in
+  assert_wf "enriched"
+    (Classify.enriched ~eview:ev ~would_serve_all:(fun _ -> true) ());
+  let k =
+    {
+      Classify.fk_members = [ p 0; p 1; p 2 ];
+      fk_me = p 0;
+      fk_my_prior = Classify.Was_reduced;
+      fk_my_prior_members = [ p 0 ];
+    }
+  in
+  List.iter (assert_wf "flat possibility") (Classify.flat k);
+  List.iter (assert_wf "flat one-at-a-time") (Classify.flat_one_at_a_time k)
+
 (* Soundness of flat reasoning, as a property over arbitrary scenarios: for
    any assignment of prior states/views to members, the oracle's verdict
    shape is among the flat classifier's possibilities when evaluated from
@@ -654,7 +707,10 @@ let flat_soundness_property =
         | Some x -> x
         | None -> (Classify.Was_fresh, None)
       in
-      let truth = Classify.shape (Classify.exact ~members ~prior) in
+      let exact_verdict = Classify.exact ~members ~prior in
+      Classify.well_formed exact_verdict
+      &&
+      let truth = Classify.shape exact_verdict in
       (* Check from every member's standpoint. *)
       List.for_all
         (fun me ->
@@ -683,17 +739,17 @@ let flat_soundness_property =
           in
           (not assumption_holds)
           ||
-          let shapes =
-            List.map Classify.shape
-              (Classify.flat
-                 {
-                   Classify.fk_members = members;
-                   fk_me = me;
-                   fk_my_prior = my_state;
-                   fk_my_prior_members = my_prior_members;
-                 })
+          let possibilities =
+            Classify.flat
+              {
+                Classify.fk_members = members;
+                fk_me = me;
+                fk_my_prior = my_state;
+                fk_my_prior_members = my_prior_members;
+              }
           in
-          List.mem truth shapes)
+          List.for_all Classify.well_formed possibilities
+          && List.mem truth (List.map Classify.shape possibilities))
         members)
 
 (* ---------- History ---------- *)
@@ -767,6 +823,8 @@ let () =
             test_enriched_majority_example;
           Alcotest.test_case "enriched merging + settled" `Quick
             test_enriched_merging_and_settled;
+          Alcotest.test_case "verdicts well-formed" `Quick
+            test_classify_well_formed;
           Alcotest.test_case "flat ambiguity (Section 4)" `Quick test_flat_ambiguity;
           Alcotest.test_case "flat exact cases" `Quick test_flat_exact_cases;
           Alcotest.test_case "flat soundness" `Quick test_flat_soundness_vs_oracle;
