@@ -45,6 +45,32 @@ let run_experiments ~quick ~only =
       end)
     experiments
 
+(* ---------- schedule-explorer smoke: a small seed budget on every CI run ---------- *)
+
+let run_explorer_smoke () =
+  let module Explorer = Vs_check.Explorer in
+  let module Campaign = Vs_check.Campaign in
+  let report = Explorer.explore ~seeds:25 ~nodes:5 ~quick:true () in
+  let table =
+    Table.create ~title:"schedule explorer (25 seeds, quick, both protocols)"
+      ~columns:[ "campaigns"; "events"; "deliveries"; "installs"; "violations" ]
+  in
+  Table.add_row table
+    [
+      Table.fint report.Explorer.campaigns;
+      Table.fint report.Explorer.total_events;
+      Table.fint report.Explorer.total_deliveries;
+      Table.fint report.Explorer.total_installs;
+      Table.fint (List.length report.Explorer.failures);
+    ];
+  Table.print table;
+  List.iter
+    (fun (f : Explorer.failure) ->
+      Printf.printf "EXPLORER FAILURE at seed %d: %s\n" f.Explorer.f_seed
+        (Campaign.describe f.Explorer.f_shrunk))
+    report.Explorer.failures;
+  if report.Explorer.failures <> [] then exit 1
+
 (* ---------- Bechamel micro-benchmarks: the hot operation of each table ---------- *)
 
 let p n = Proc_id.initial n
@@ -244,4 +270,6 @@ let () =
      reproduction\n";
   (* Experiment ids and [micro] compose; bare [micro] skips the tables. *)
   if only <> [] || not micro then run_experiments ~quick ~only;
+  (* CI explores a small seed budget on every quick run. *)
+  if quick && only = [] then run_explorer_smoke ();
   if micro || only = [] then run_micro ()

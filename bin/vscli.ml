@@ -3,6 +3,7 @@
    Subcommands:
      experiment   regenerate the paper's tables (all or selected)
      campaign     run a randomized fault campaign and check the properties
+     check        sweep seeds through the schedule explorer; shrink failures
      trace        run a campaign and dump the annotated event trace *)
 
 module Sim = Vs_sim.Sim
@@ -11,6 +12,10 @@ module Faults = Vs_harness.Faults
 module Oracle = Vs_harness.Oracle
 module Vc = Vs_harness.Vsync_cluster
 module Ec = Vs_harness.Evs_cluster
+module Campaign = Vs_check.Campaign
+module Explorer = Vs_check.Explorer
+module Shrink = Vs_check.Shrink
+module Repro = Vs_check.Repro
 open Cmdliner
 
 (* ---------- experiment ---------- *)
@@ -133,6 +138,137 @@ let campaign_cmd =
           properties against the oracle.")
     Term.(const run $ seed_arg $ nodes_arg $ duration_arg $ evs)
 
+(* ---------- check ---------- *)
+
+let check_cmd =
+  let seeds =
+    Arg.(
+      value & opt int 100
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
+  in
+  let start_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "start-seed" ] ~docv:"S" ~doc:"First seed of the sweep.")
+  in
+  let check_nodes =
+    Arg.(
+      value & opt int 5
+      & info [ "nodes" ] ~docv:"K" ~doc:"Nodes per campaign.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Shorter churn windows (CI-sized campaigns).")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Report failures without minimizing them.")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt string "test/corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Directory where shrunk repro artifacts are written.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay one repro artifact instead of sweeping seeds; exits \
+             non-zero if the replay still violates a property.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-campaign progress.")
+  in
+  let replay_file file =
+    match Repro.load file with
+    | Error msg ->
+        Printf.eprintf "cannot load %s: %s\n" file msg;
+        exit 2
+    | Ok spec ->
+        Printf.printf "replay %s\n  %s\n" file (Campaign.describe spec);
+        let outcome = Campaign.run spec in
+        Printf.printf
+          "  deliveries=%d installs=%d distinct-views=%d events=%d stable=%b\n"
+          outcome.Campaign.deliveries outcome.Campaign.installs
+          outcome.Campaign.distinct_views outcome.Campaign.events
+          outcome.Campaign.stable;
+        if outcome.Campaign.violations = [] then
+          print_endline "  properties: all hold"
+        else begin
+          Printf.printf "  VIOLATIONS (%d):\n"
+            (List.length outcome.Campaign.violations);
+          List.iter
+            (fun e -> print_endline ("    " ^ e))
+            outcome.Campaign.violations;
+          exit 1
+        end
+  in
+  let sweep seeds start_seed nodes quick no_shrink corpus verbose =
+    let progress =
+      if verbose then
+        Some
+          (fun ~seed spec (outcome : Campaign.outcome) ->
+            Printf.printf "seed %d %s: %s\n%!" seed
+              (Campaign.describe spec)
+              (if outcome.Campaign.violations = [] then "ok"
+               else
+                 Printf.sprintf "%d violation(s)"
+                   (List.length outcome.Campaign.violations)))
+      else None
+    in
+    let report =
+      Explorer.explore ~start_seed ~shrink:(not no_shrink) ?progress ~seeds
+        ~nodes ~quick ()
+    in
+    Printf.printf
+      "explored %d seeds (%d campaigns, both protocols): %d events, %d \
+       deliveries, %d installs\n"
+      report.Explorer.seeds report.Explorer.campaigns
+      report.Explorer.total_events report.Explorer.total_deliveries
+      report.Explorer.total_installs;
+    if report.Explorer.failures = [] then
+      print_endline "no violations found"
+    else begin
+      List.iter
+        (fun (f : Explorer.failure) ->
+          Printf.printf "\nFAILURE at seed %d:\n  original: %s\n" f.Explorer.f_seed
+            (Campaign.describe f.Explorer.f_spec);
+          List.iter
+            (fun e -> print_endline ("    " ^ e))
+            f.Explorer.f_outcome.Campaign.violations;
+          if not no_shrink then begin
+            Printf.printf "  shrunk (%d/%d candidates accepted): %s\n"
+              f.Explorer.f_shrink_stats.Shrink.accepted
+              f.Explorer.f_shrink_stats.Shrink.attempts
+              (Campaign.describe f.Explorer.f_shrunk);
+            let path = Repro.save ~dir:corpus f.Explorer.f_shrunk in
+            Printf.printf "  repro written to %s\n" path
+          end)
+        report.Explorer.failures;
+      exit 1
+    end
+  in
+  let run seeds start_seed nodes quick no_shrink corpus replay verbose =
+    match replay with
+    | Some file -> replay_file file
+    | None -> sweep seeds start_seed nodes quick no_shrink corpus verbose
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Sweep seeds through the fault-schedule explorer (random churn x \
+          loss/dup/jitter x traffic, over both protocols), shrink any \
+          failure to a minimal repro artifact, or replay one artifact.")
+    Term.(
+      const run $ seeds $ start_seed $ check_nodes $ quick $ no_shrink $ corpus
+      $ replay $ verbose)
+
 (* ---------- trace ---------- *)
 
 let trace_cmd =
@@ -180,4 +316,6 @@ let () =
         "Enriched view synchrony simulator — reproduction of 'On \
          Programming with View Synchrony' (ICDCS 1996)."
   in
-  exit (Cmd.eval (Cmd.group info [ experiment_cmd; campaign_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ experiment_cmd; campaign_cmd; check_cmd; trace_cmd ]))

@@ -1,0 +1,132 @@
+module Rng = Vs_util.Rng
+module Net = Vs_net.Net
+module Faults = Vs_harness.Faults
+module Driver = Vs_harness.Driver
+
+type knobs = {
+  loss_prob : float;
+  dup_prob : float;
+  delay_min : float;
+  delay_max : float;
+}
+
+let default_knobs =
+  {
+    loss_prob = 0.;
+    dup_prob = 0.;
+    delay_min = Net.default_config.Net.delay_min;
+    delay_max = Net.default_config.Net.delay_max;
+  }
+
+type spec = {
+  seed : int64;
+  protocol : Driver.protocol;
+  nodes : int;
+  knobs : knobs;
+  script : Faults.script;
+  traffic_gap : float;
+  traffic_until : float;
+  horizon : float;
+}
+
+let equal_spec (a : spec) (b : spec) = a = b
+
+let weight spec =
+  let flag b = if b then 1 else 0 in
+  List.length spec.script + spec.nodes
+  + flag (spec.knobs.loss_prob > 0.)
+  + flag (spec.knobs.dup_prob > 0.)
+  + flag (spec.knobs.delay_max > default_knobs.delay_max)
+  + flag (spec.traffic_gap > 0.)
+
+let describe spec =
+  Printf.sprintf
+    "seed=%Ld %s nodes=%d actions=%d loss=%.3f dup=%.3f delay=[%.3f,%.3f] \
+     traffic-gap=%.3f horizon=%.1f"
+    spec.seed
+    (Driver.protocol_to_string spec.protocol)
+    spec.nodes
+    (List.length spec.script)
+    spec.knobs.loss_prob spec.knobs.dup_prob spec.knobs.delay_min
+    spec.knobs.delay_max spec.traffic_gap spec.horizon
+
+(* Derive every campaign parameter from the integer seed.  The derivation
+   rng is independent of the cluster seed (offset by a large odd constant)
+   so knob sampling never correlates with in-run randomness. *)
+let generate ?protocol ~seed ~nodes ~quick () =
+  let seed64 = Int64.of_int seed in
+  let rng = Rng.create (Int64.add (Int64.mul seed64 2654435761L) 97531L) in
+  let protocol =
+    match protocol with
+    | Some p -> p
+    | None -> if Rng.bool rng 0.5 then Driver.Evs else Driver.Vsync
+  in
+  let knobs =
+    {
+      loss_prob = (if Rng.bool rng 0.3 then 0. else Rng.uniform rng 0. 0.15);
+      dup_prob = (if Rng.bool rng 0.5 then 0. else Rng.uniform rng 0. 0.10);
+      delay_min = 0.001;
+      delay_max = Rng.uniform rng 0.005 0.020;
+    }
+  in
+  let duration = if quick then 3.0 else 6.0 in
+  let mean_gap = Rng.uniform rng 0.3 0.8 in
+  let node_list = List.init nodes (fun i -> i) in
+  let script =
+    Faults.random_script rng ~nodes:node_list ~start:1.0 ~duration ~mean_gap ()
+  in
+  let traffic_gap =
+    if Rng.bool rng 0.1 then 0. else Rng.uniform rng 0.02 0.08
+  in
+  {
+    seed = seed64;
+    protocol;
+    nodes;
+    knobs;
+    script;
+    traffic_gap;
+    traffic_until = 1.0 +. duration +. 0.5;
+    (* The closing heal/recover lands at [start + duration]; leave a quiet
+       settling tail so checks run against a stabilized cluster even under
+       loss (retry backoff needs the slack). *)
+    horizon = 1.0 +. duration +. 5.0;
+  }
+
+type outcome = Driver.outcome = {
+  violations : string list;
+  deliveries : int;
+  installs : int;
+  distinct_views : int;
+  eview_changes : int;
+  events : int;
+  stable : bool;
+}
+
+let run spec =
+  let net_config =
+    {
+      Net.default_config with
+      Net.drop_prob = spec.knobs.loss_prob;
+      Net.dup_prob = spec.knobs.dup_prob;
+      Net.delay_min = spec.knobs.delay_min;
+      Net.delay_max = spec.knobs.delay_max;
+    }
+  in
+  let setup =
+    {
+      Driver.seed = spec.seed;
+      n = spec.nodes;
+      protocol = spec.protocol;
+      net_config;
+    }
+  in
+  let traffic =
+    {
+      Driver.tr_start = 0.5;
+      tr_until = spec.traffic_until;
+      tr_gap = spec.traffic_gap;
+    }
+  in
+  Driver.run_schedule ~traffic setup ~script:spec.script ~until:spec.horizon
+
+let fails spec = (run spec).violations <> []

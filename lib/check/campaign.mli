@@ -1,0 +1,68 @@
+(** One fully-specified, replayable checking campaign.
+
+    A campaign [spec] is everything needed to reproduce a run bit-for-bit:
+    the cluster seed, the protocol, the node count, the network fault knobs,
+    the app-traffic pumping rate and the complete fault script.  Specs are
+    either derived deterministically from a single integer seed
+    ({!generate}) or read back from a shrunk repro artifact ({!Repro}).
+
+    Running a spec ({!run}) drives {!Vs_harness.Driver.run_schedule} and
+    returns the violations plus the run's counters. *)
+
+module Faults = Vs_harness.Faults
+module Driver = Vs_harness.Driver
+
+type knobs = {
+  loss_prob : float;   (** per-message drop probability *)
+  dup_prob : float;    (** per-delivery duplication probability *)
+  delay_min : float;   (** lower bound of the per-message delay *)
+  delay_max : float;   (** upper bound (jitter = max - min) *)
+}
+
+val default_knobs : knobs
+(** The {!Vs_net.Net.default_config} delays, no loss, no duplication. *)
+
+type spec = {
+  seed : int64;        (** the cluster / simulator seed *)
+  protocol : Driver.protocol;
+  nodes : int;
+  knobs : knobs;
+  script : Faults.script;
+  traffic_gap : float; (** mean gap between app multicasts; [<= 0.] = none *)
+  traffic_until : float;
+  horizon : float;     (** run the simulation until this virtual time *)
+}
+
+val equal_spec : spec -> spec -> bool
+
+val weight : spec -> int
+(** Size measure used by the shrinker: script actions + nodes, plus one for
+    each enabled fault dimension (loss, duplication, jitter, traffic). *)
+
+val describe : spec -> string
+(** One-line summary: seed, protocol, sizes, knobs. *)
+
+val generate :
+  ?protocol:Driver.protocol -> seed:int -> nodes:int -> quick:bool -> unit -> spec
+(** Deterministically derive a campaign from an integer seed: a random fault
+    script over the given node count plus randomized network-fault knobs
+    (loss up to 15%, duplication up to 10%, widened delay jitter, randomized
+    traffic rate).  [quick] shortens the churn window.  [protocol] defaults
+    to a seed-determined choice; the explorer passes both explicitly. *)
+
+type outcome = Driver.outcome = {
+  violations : string list;
+  deliveries : int;
+  installs : int;
+  distinct_views : int;
+  eview_changes : int;
+  events : int;
+  stable : bool;
+}
+
+val run : spec -> outcome
+(** Deterministic: running the same spec twice yields identical outcomes. *)
+
+val fails : spec -> bool
+(** [run spec] produced at least one violation — the shrinker's default
+    failure predicate. *)

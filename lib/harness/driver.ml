@@ -1,0 +1,134 @@
+module Sim = Vs_sim.Sim
+module Net = Vs_net.Net
+module Proc_id = Vs_net.Proc_id
+module View = Vs_gms.View
+module E_view = Evs_core.E_view
+module Classify = Evs_core.Classify
+module Evs = Evs_core.Evs
+module Listx = Vs_util.Listx
+
+type protocol = Vsync | Evs
+
+let protocol_to_string = function Vsync -> "vsync" | Evs -> "evs"
+
+type setup = {
+  seed : int64;
+  n : int;
+  protocol : protocol;
+  net_config : Net.config;
+}
+
+type traffic = { tr_start : float; tr_until : float; tr_gap : float }
+
+type outcome = {
+  violations : string list;
+  deliveries : int;
+  installs : int;
+  distinct_views : int;
+  eview_changes : int;
+  events : int;
+  stable : bool;
+}
+
+(* EVS counterpart of Vsync_cluster.stable_view_reached: every live handle
+   installed the same view, that view covers exactly the live nodes, and
+   nobody is mid-flush. *)
+let evs_stable c =
+  match Evs_cluster.live c with
+  | [] -> false
+  | handles ->
+      let live_nodes =
+        List.map (fun e -> (Evs.me e).Proc_id.node) handles
+        |> List.sort_uniq compare
+      in
+      let views = List.map Evs.view handles in
+      (match views with
+      | v :: rest ->
+          List.for_all (fun v' -> View.equal v v') rest
+          && Listx.equal_set ~cmp:Int.compare
+               (List.sort_uniq compare
+                  (List.map (fun (p : Proc_id.t) -> p.Proc_id.node) v.View.members))
+               live_nodes
+          && List.for_all (fun e -> not (Evs.is_blocked e)) handles
+      | [] -> false)
+
+(* Section 6 structural invariants over every e-view any process ever
+   installed: E_view.validate (subviews partition the membership, sv-sets
+   partition the subviews) and well-formedness of the classification verdict
+   a majority-quorum application would derive from it. *)
+let evs_structural_violations ~n c =
+  let quorum ms = 2 * List.length ms > n in
+  List.concat_map
+    (fun (r : Evs_cluster.eview_record) ->
+      let where =
+        Printf.sprintf "%s at t=%.3f"
+          (Proc_id.to_string r.Evs_cluster.er_proc)
+          r.Evs_cluster.er_time
+      in
+      let ev = r.Evs_cluster.er_eview in
+      let structural =
+        match E_view.validate ev with
+        | Ok () -> []
+        | Error e ->
+            [ Printf.sprintf "e-view invariant (%s): %s in %s" where e
+                (E_view.to_string ev) ]
+      in
+      let verdict = Classify.enriched ~eview:ev ~would_serve_all:quorum () in
+      let classify =
+        if Classify.well_formed verdict then []
+        else
+          [ Printf.sprintf "classify not well-formed (%s): %s on %s" where
+              (Classify.problem_to_string verdict)
+              (E_view.to_string ev) ]
+      in
+      structural @ classify)
+    (Evs_cluster.eview_records c)
+
+let run_schedule ?traffic setup ~script ~until =
+  let pump pump_traffic c =
+    match traffic with
+    | Some tr when tr.tr_gap > 0. ->
+        pump_traffic c ~start:tr.tr_start ~until:tr.tr_until ~mean_gap:tr.tr_gap
+    | Some _ | None -> ()
+  in
+  match setup.protocol with
+  | Vsync ->
+      let c =
+        Vsync_cluster.create ~seed:setup.seed ~net_config:setup.net_config
+          ~n:setup.n ()
+      in
+      Vsync_cluster.run_script c script;
+      pump Vsync_cluster.pump_traffic c;
+      Vsync_cluster.run c ~until;
+      let o = Vsync_cluster.oracle c in
+      {
+        violations = Oracle.check_all o;
+        deliveries = Oracle.total_deliveries o;
+        installs = Oracle.total_installs o;
+        distinct_views = Oracle.distinct_views o;
+        eview_changes = 0;
+        events = Sim.events_processed (Vsync_cluster.sim c);
+        stable = Vsync_cluster.stable_view_reached c;
+      }
+  | Evs ->
+      let c =
+        Evs_cluster.create ~seed:setup.seed ~net_config:setup.net_config
+          ~n:setup.n ()
+      in
+      Evs_cluster.run_script c script;
+      pump Evs_cluster.pump_traffic c;
+      Evs_cluster.run c ~until;
+      let o = Evs_cluster.oracle c in
+      {
+        violations =
+          Oracle.check_all o
+          @ Evs_cluster.check_total_order c
+          @ Evs_cluster.check_structure c
+          @ evs_structural_violations ~n:setup.n c;
+        deliveries = Oracle.total_deliveries o;
+        installs = Oracle.total_installs o;
+        distinct_views = Oracle.distinct_views o;
+        eview_changes = Evs_cluster.eview_changes_total c;
+        events = Sim.events_processed (Evs_cluster.sim c);
+        stable = evs_stable c;
+      }

@@ -1,0 +1,52 @@
+(** Uniform run-one-schedule entry point over both cluster harnesses.
+
+    The schedule explorer (lib/check), the CLI and the tests all need the
+    same shape of run: boot a cluster on a configured network, schedule a
+    fault script and background traffic, run to a horizon, then collect
+    every checkable property violation plus the run's head-line counters.
+    This module provides that shape once, for plain view synchrony
+    ({!Vsync_cluster}) and enriched view synchrony ({!Evs_cluster}) alike,
+    so callers never branch on the protocol.
+
+    EVS runs are checked against strictly more properties: on top of the
+    Section 2 oracle checks they get Property 6.1 (total order of e-view
+    changes), Property 6.3 (structure preservation), the {!E_view.validate}
+    structural invariants of every recorded e-view (subviews partition the
+    membership, sv-sets partition the subviews), and well-formedness of the
+    {!Classify.enriched} verdict computed from each recorded e-view. *)
+
+type protocol = Vsync | Evs
+
+val protocol_to_string : protocol -> string
+
+type setup = {
+  seed : int64;
+  n : int;  (** nodes, numbered [0 .. n-1] *)
+  protocol : protocol;
+  net_config : Vs_net.Net.config;
+}
+
+type traffic = {
+  tr_start : float;
+  tr_until : float;
+  tr_gap : float;  (** mean gap between multicasts; [<= 0.] disables *)
+}
+
+type outcome = {
+  violations : string list;
+      (** every failed property check, human-readable; [] = clean run *)
+  deliveries : int;
+  installs : int;
+  distinct_views : int;
+  eview_changes : int;  (** within-view e-view changes; 0 for plain VS *)
+  events : int;         (** simulator events processed *)
+  stable : bool;
+      (** all live members converged on one final view covering the live
+          nodes (the {!Vsync_cluster.stable_view_reached} condition; the
+          analogous check over live EVS handles for enriched runs) *)
+}
+
+val run_schedule :
+  ?traffic:traffic -> setup -> script:Faults.script -> until:float -> outcome
+(** Deterministic: the same setup, traffic, script and horizon produce the
+    same outcome, bit for bit. *)

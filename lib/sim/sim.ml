@@ -6,12 +6,14 @@ type handle = {
   seq : int;
   thunk : unit -> unit;
   mutable cancelled : bool;
+  owner : t;
 }
 
-type t = {
+and t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable processed : int;
+  mutable live : int;  (* scheduled and not yet fired or cancelled *)
   queue : handle Heap.t;
   root_rng : Rng.t;
   tracer : Trace.t;
@@ -26,6 +28,7 @@ let create ?(seed = 1L) () =
     clock = 0.;
     next_seq = 0;
     processed = 0;
+    live = 0;
     queue = Heap.create ~cmp:compare_handle;
     root_rng = Rng.create seed;
     tracer = Trace.create ();
@@ -46,8 +49,9 @@ let at t fire_at thunk =
   if fire_at < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.at: time %g is in the past (now %g)" fire_at t.clock);
-  let h = { fire_at; seq = t.next_seq; thunk; cancelled = false } in
+  let h = { fire_at; seq = t.next_seq; thunk; cancelled = false; owner = t } in
   t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
   Heap.push t.queue h;
   h
 
@@ -56,12 +60,14 @@ let after t delay thunk =
   at t (t.clock +. delay) thunk
 
 let cancel h =
-  if not h.cancelled then h.cancelled <- true
+  if not h.cancelled then begin
+    h.cancelled <- true;
+    h.owner.live <- h.owner.live - 1
+  end
 
-(* Cancelled entries are skipped lazily on pop, so the pending count must be
-   recomputed from the heap contents. *)
-let pending t =
-  List.length (List.filter (fun h -> not h.cancelled) (Heap.to_list t.queue))
+(* Cancelled entries are skipped lazily on pop; the live count is maintained
+   eagerly on push/cancel/fire so this is O(1). *)
+let pending t = t.live
 
 let events_processed t = t.processed
 
@@ -79,6 +85,7 @@ let step t =
   | Some h ->
       t.clock <- h.fire_at;
       t.processed <- t.processed + 1;
+      t.live <- t.live - 1;
       h.thunk ();
       true
 

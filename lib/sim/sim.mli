@@ -39,7 +39,8 @@ val cancel : handle -> unit
 (** Prevent a pending event from firing; no-op if already fired/cancelled. *)
 
 val pending : t -> int
-(** Number of scheduled, uncancelled events. *)
+(** Number of scheduled, uncancelled events.  O(1): the count is maintained
+    on schedule/cancel/fire rather than recomputed from the queue. *)
 
 val events_processed : t -> int
 

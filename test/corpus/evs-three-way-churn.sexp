@@ -1,0 +1,20 @@
+; Sentinel artifact: three-way partition churn with a mid-partition crash
+; over enriched view synchrony — the shape of schedule that stresses the
+; Section 6 subview/sv-set invariants (split identities meeting again in
+; one view).  Replayed by the corpus suite on every build.
+((seed 202)
+ (protocol evs)
+ (nodes 5)
+ (loss 0.05)
+ (dup 0)
+ (delay-min 0.001)
+ (delay-max 0.015)
+ (traffic-gap 0.04)
+ (traffic-until 5)
+ (horizon 10)
+ (script ((1 (partition (0 1) (2 3) (4)))
+          (1.8 (crash 1))
+          (2.5 (heal))
+          (3.2 (partition (0 2) (1 3 4)))
+          (4 (heal))
+          (4.01 (recover 1)))))

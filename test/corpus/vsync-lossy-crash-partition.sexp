@@ -1,0 +1,18 @@
+; Sentinel artifact: a hand-minimized lossy crash+partition schedule that
+; once exercised the reliable control plane's worst paths (PR 1).  Kept as a
+; permanent regression schedule; the corpus suite replays every file here
+; and fails if any property violation reappears.
+((seed 101)
+ (protocol vsync)
+ (nodes 3)
+ (loss 0.2)
+ (dup 0.1)
+ (delay-min 0.001)
+ (delay-max 0.01)
+ (traffic-gap 0.03)
+ (traffic-until 4)
+ (horizon 9)
+ (script ((1.5 (crash 2))
+          (2.2 (partition (0) (1)))
+          (3 (heal))
+          (3.01 (recover 2)))))

@@ -1,0 +1,370 @@
+(* Tests for the schedule explorer stack (lib/check) and for the oracle
+   checkers under mutated recordings of real runs.
+
+   - explorer smoke: a fixed small seed set swept on every build, so tier-1
+     exercises the whole campaign/driver/checker path;
+   - replay determinism: the same spec always produces the same outcome;
+   - repro artifacts: exact s-expression round-trips, error reporting;
+   - shrinker: synthetic failure predicates (structural and run-derived)
+     minimize to strictly smaller specs that still fail;
+   - oracle mutations: recordings of a genuine run, deliberately corrupted
+     (dropped delivery, cross-view duplicate, spurious message), make the
+     corresponding checker fire — the checkers provably can detect bugs;
+   - corpus replay: every checked-in repro artifact under test/corpus/
+     parses and runs clean (a minimized schedule that once found a bug can
+     never silently regress). *)
+
+module Sim = Vs_sim.Sim
+module Proc_id = Vs_net.Proc_id
+module View = Vs_gms.View
+module Faults = Vs_harness.Faults
+module Oracle = Vs_harness.Oracle
+module Driver = Vs_harness.Driver
+module Vc = Vs_harness.Vsync_cluster
+module Campaign = Vs_check.Campaign
+module Explorer = Vs_check.Explorer
+module Shrink = Vs_check.Shrink
+module Repro = Vs_check.Repro
+
+let check = Alcotest.check
+
+let p n = Proc_id.initial n
+
+(* ---------- explorer smoke: the CI seed budget ---------- *)
+
+let test_explorer_smoke () =
+  let failures = ref [] in
+  let report =
+    Explorer.explore ~seeds:25 ~nodes:4 ~quick:true
+      ~progress:(fun ~seed spec outcome ->
+        if outcome.Campaign.violations <> [] then
+          failures := (seed, spec, outcome) :: !failures)
+      ()
+  in
+  List.iter
+    (fun (seed, spec, (outcome : Campaign.outcome)) ->
+      Printf.printf "seed %d (%s):\n" seed (Campaign.describe spec);
+      List.iter print_endline outcome.Campaign.violations)
+    !failures;
+  check Alcotest.int "campaigns = seeds x protocols" 50
+    report.Explorer.campaigns;
+  check Alcotest.int "no violations over the smoke seed set" 0
+    (List.length report.Explorer.failures);
+  check Alcotest.bool "the sweep actually delivered traffic" true
+    (report.Explorer.total_deliveries > 0
+    && report.Explorer.total_installs > 0)
+
+(* ---------- replay determinism ---------- *)
+
+let outcomes_equal (a : Campaign.outcome) (b : Campaign.outcome) =
+  a.Campaign.violations = b.Campaign.violations
+  && a.Campaign.deliveries = b.Campaign.deliveries
+  && a.Campaign.installs = b.Campaign.installs
+  && a.Campaign.distinct_views = b.Campaign.distinct_views
+  && a.Campaign.eview_changes = b.Campaign.eview_changes
+  && a.Campaign.events = b.Campaign.events
+  && a.Campaign.stable = b.Campaign.stable
+
+let test_replay_deterministic () =
+  List.iter
+    (fun protocol ->
+      let spec = Campaign.generate ~protocol ~seed:7 ~nodes:4 ~quick:true () in
+      let o1 = Campaign.run spec in
+      let o2 = Campaign.run spec in
+      check Alcotest.bool
+        ("identical outcomes (" ^ Driver.protocol_to_string protocol ^ ")")
+        true (outcomes_equal o1 o2);
+      check Alcotest.bool "the run did something" true
+        (o1.Campaign.events > 0 && o1.Campaign.deliveries > 0))
+    [ Driver.Vsync; Driver.Evs ]
+
+let test_replay_from_artifact_deterministic () =
+  (* Through the serialized form too: parse . print = identity run. *)
+  let spec = Campaign.generate ~seed:13 ~nodes:4 ~quick:true () in
+  match Repro.of_string (Repro.to_string spec) with
+  | Error msg -> Alcotest.failf "round-trip failed: %s" msg
+  | Ok spec' ->
+      check Alcotest.bool "parsed spec equals original" true
+        (Campaign.equal_spec spec spec');
+      check Alcotest.bool "identical outcomes" true
+        (outcomes_equal (Campaign.run spec) (Campaign.run spec'))
+
+(* ---------- repro artifacts ---------- *)
+
+let roundtrip_property =
+  QCheck.Test.make ~name:"repro artifacts round-trip exactly" ~count:50
+    QCheck.(
+      make
+        Gen.(
+          map2
+            (fun seed nodes -> (seed, 2 + nodes))
+            (int_bound 100_000) (int_bound 6)))
+    (fun (seed, nodes) ->
+      let spec = Campaign.generate ~seed ~nodes ~quick:false () in
+      match Repro.of_string (Repro.to_string spec) with
+      | Ok spec' -> Campaign.equal_spec spec spec'
+      | Error _ -> false)
+
+let test_repro_errors () =
+  let bad text =
+    match Repro.of_string text with Ok _ -> false | Error _ -> true
+  in
+  check Alcotest.bool "empty input rejected" true (bad "");
+  check Alcotest.bool "unclosed paren rejected" true (bad "((seed 1)");
+  check Alcotest.bool "missing fields rejected" true (bad "((seed 1))");
+  check Alcotest.bool "bad action rejected" true
+    (bad
+       "((seed 1) (protocol vsync) (nodes 2) (loss 0) (dup 0) (delay-min \
+        0.001) (delay-max 0.01) (traffic-gap 0) (traffic-until 1) (horizon 2) \
+        (script ((1 (explode 3)))))")
+
+(* ---------- shrinker ---------- *)
+
+(* A deterministic structural failure: the script still crashes node 1.
+   The shrinker must strip everything else — all other actions, the spare
+   nodes, every fault knob — while preserving the predicate. *)
+let test_shrink_structural () =
+  let has_crash_1 spec =
+    List.exists (fun (_, a) -> a = Faults.Crash 1) spec.Campaign.script
+  in
+  let rec find_seed seed =
+    if seed > 200 then Alcotest.fail "no seed with a crash of node 1?"
+    else
+      let spec = Campaign.generate ~seed ~nodes:5 ~quick:false () in
+      if has_crash_1 spec && List.length spec.Campaign.script >= 5 then spec
+      else find_seed (seed + 1)
+  in
+  let original = find_seed 1 in
+  let shrunk, stats = Shrink.shrink ~failing:has_crash_1 original in
+  check Alcotest.bool "still fails" true (has_crash_1 shrunk);
+  check Alcotest.bool "strictly smaller" true
+    (Campaign.weight shrunk < Campaign.weight original);
+  check Alcotest.int "single action remains" 1
+    (List.length shrunk.Campaign.script);
+  check Alcotest.int "nodes reduced to 2" 2 shrunk.Campaign.nodes;
+  check (Alcotest.float 1e-9) "loss knob off" 0.
+    shrunk.Campaign.knobs.Campaign.loss_prob;
+  check (Alcotest.float 1e-9) "traffic off" 0. shrunk.Campaign.traffic_gap;
+  check Alcotest.bool "shrinking did some work" true
+    (stats.Shrink.accepted > 0 && stats.Shrink.attempts >= stats.Shrink.accepted)
+
+(* A run-derived failure: the campaign's outcome (from genuinely re-running
+   each candidate) keeps showing at least three distinct views.  This is the
+   mode the explorer uses on a real violation, where the predicate is
+   "Oracle.check_all still reports something". *)
+let test_shrink_run_derived () =
+  let failing spec =
+    spec.Campaign.nodes >= 2
+    && (Campaign.run spec).Campaign.distinct_views >= 3
+  in
+  let original = Campaign.generate ~seed:3 ~nodes:4 ~quick:true () in
+  if not (failing original) then
+    Alcotest.fail "expected seed 3 to produce >= 3 distinct views";
+  let shrunk, _stats = Shrink.shrink ~max_attempts:80 ~failing original in
+  check Alcotest.bool "still fails after shrinking" true (failing shrunk);
+  check Alcotest.bool "strictly smaller" true
+    (Campaign.weight shrunk < Campaign.weight original)
+
+(* ---------- oracle checkers under mutated real recordings ---------- *)
+
+(* Drive a real, clean run: 3 nodes form a view, exchange FIFO traffic,
+   then lose node 2 so a successor view exists (agreement compares the
+   survivors' delivery sets across that view change). *)
+let drive_clean_run () =
+  let c = Vc.create ~seed:11L ~n:3 () in
+  let sim = Vc.sim c in
+  Vc.run c ~until:1.0;
+  for i = 0 to 8 do
+    ignore
+      (Sim.at sim
+         (1.0 +. (0.05 *. float_of_int i))
+         (fun () -> Vc.multicast_from c ~node:(i mod 3) ()))
+  done;
+  Vc.run_script c [ (2.0, Faults.Crash 2) ];
+  Vc.run c ~until:4.0;
+  let o = Vc.oracle c in
+  check (Alcotest.list Alcotest.string) "the genuine run is clean" []
+    (Oracle.check_all o);
+  check Alcotest.bool "it delivered traffic" true
+    (Oracle.total_deliveries o > 0);
+  c
+
+(* Rebuild an oracle from another oracle's introspected recording,
+   optionally dropping one delivery — the only corruption that cannot be
+   expressed by appending to the original. *)
+let rebuild_recording ?drop o procs =
+  let o' = Oracle.create () in
+  let mids =
+    List.concat_map
+      (fun proc -> List.map snd (Oracle.deliveries_of o ~proc))
+      procs
+    |> List.sort_uniq compare
+  in
+  List.iter (fun mid -> Oracle.record_send o' mid) mids;
+  List.iter
+    (fun proc ->
+      let time = ref 0.0 in
+      List.iter
+        (fun (view, prior) ->
+          time := !time +. 0.01;
+          Oracle.record_install o' ~proc ~view ~prior ~time:!time)
+        (Oracle.installs_of o ~proc);
+      List.iter
+        (fun (vid, mid) ->
+          let dropped =
+            match drop with
+            | Some (dp, dmid) -> Proc_id.equal dp proc && dmid = mid
+            | None -> false
+          in
+          if not dropped then begin
+            time := !time +. 0.01;
+            Oracle.record_delivery o' ~proc ~vid mid ~time:!time
+          end)
+        (Oracle.deliveries_of o ~proc))
+    procs;
+  o'
+
+let procs_of o = List.map fst (Oracle.install_counts o)
+
+let test_mutation_dropped_delivery_breaks_agreement () =
+  let c = drive_clean_run () in
+  let o = Vc.oracle c in
+  let procs = procs_of o in
+  (* Faithful rebuild stays clean: the harness introspection is lossless
+     enough for the checkers. *)
+  let faithful = rebuild_recording o procs in
+  check (Alcotest.list Alcotest.string) "faithful rebuild is clean" []
+    (Oracle.check_all faithful);
+  (* Drop one delivery that the other survivor also made in the view both
+     outlived: agreement (Property 2.1) must fire. *)
+  let survivor = p 0 and witness = p 1 in
+  let last_prior =
+    match List.rev (Oracle.installs_of o ~proc:survivor) with
+    | (_, prior) :: _ -> prior
+    | [] -> Alcotest.fail "no installs recorded"
+  in
+  let shared_mid =
+    let delivered_by proc =
+      Oracle.deliveries_of o ~proc
+      |> List.filter_map (fun (vid, mid) ->
+             if View.Id.equal vid last_prior then Some mid else None)
+    in
+    match
+      List.filter
+        (fun mid -> List.mem mid (delivered_by witness))
+        (delivered_by survivor)
+    with
+    | mid :: _ -> mid
+    | [] -> Alcotest.fail "no shared delivery in the pre-crash view"
+  in
+  let corrupted = rebuild_recording ~drop:(survivor, shared_mid) o procs in
+  check Alcotest.bool "agreement fires on the dropped delivery" true
+    (Oracle.check_agreement corrupted <> [])
+
+let test_mutation_cross_view_duplicate_breaks_uniqueness () =
+  let c = drive_clean_run () in
+  let o = Vc.oracle c in
+  (* Re-deliver a genuinely delivered message in a different view. *)
+  let proc = p 0 in
+  let vid, mid =
+    match Oracle.deliveries_of o ~proc with
+    | d :: _ -> d
+    | [] -> Alcotest.fail "no deliveries"
+  in
+  let other_vid = View.Id.make ~epoch:99 ~proposer:(p 1) in
+  assert (not (View.Id.equal vid other_vid));
+  Oracle.record_delivery o ~proc:(p 1) ~vid:other_vid mid ~time:9.9;
+  check Alcotest.bool "uniqueness fires on the cross-view duplicate" true
+    (Oracle.check_uniqueness o <> [])
+
+let test_mutation_spurious_message_breaks_integrity () =
+  let c = drive_clean_run () in
+  let o = Vc.oracle c in
+  (* Deliver a message nobody ever multicast. *)
+  let phantom = { Oracle.m_sender = p 9; m_index = 42 } in
+  Oracle.record_delivery o ~proc:(p 0)
+    ~vid:(View.Id.make ~epoch:1 ~proposer:(p 0))
+    phantom ~time:9.9;
+  check Alcotest.bool "integrity fires on the spurious message" true
+    (Oracle.check_integrity o <> [])
+
+let test_mutation_inverted_delivery_breaks_fifo () =
+  let c = drive_clean_run () in
+  let o = Vc.oracle c in
+  (* Append an inversion: a fresh sender's messages delivered out of
+     multicast order at one process. *)
+  let m0 = { Oracle.m_sender = p 7; m_index = 0 } in
+  let m1 = { Oracle.m_sender = p 7; m_index = 1 } in
+  Oracle.record_send o m0;
+  Oracle.record_send o m1;
+  let vid = View.Id.make ~epoch:1 ~proposer:(p 0) in
+  Oracle.record_delivery o ~proc:(p 0) ~vid m1 ~time:9.8;
+  Oracle.record_delivery o ~proc:(p 0) ~vid m0 ~time:9.9;
+  check Alcotest.bool "fifo fires on the inversion" true
+    (Oracle.check_fifo o <> [])
+
+(* ---------- corpus replay ---------- *)
+
+let test_corpus_replays_clean () =
+  let entries = Repro.load_dir "corpus" in
+  check Alcotest.bool "corpus is not empty" true (entries <> []);
+  List.iter
+    (fun (path, parsed) ->
+      match parsed with
+      | Error msg -> Alcotest.failf "%s does not parse: %s" path msg
+      | Ok spec ->
+          let outcome = Campaign.run spec in
+          if outcome.Campaign.violations <> [] then begin
+            Printf.printf "%s (%s):\n" path (Campaign.describe spec);
+            List.iter print_endline outcome.Campaign.violations;
+            Alcotest.failf "%s regressed: %d violation(s)" path
+              (List.length outcome.Campaign.violations)
+          end)
+    entries
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "vs_check"
+    [
+      ( "explorer",
+        [
+          Alcotest.test_case "25-seed smoke sweep is clean" `Quick
+            test_explorer_smoke;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "same spec, same outcome" `Quick
+            test_replay_deterministic;
+          Alcotest.test_case "through the artifact form" `Quick
+            test_replay_from_artifact_deterministic;
+        ] );
+      ( "repro",
+        [
+          qt roundtrip_property;
+          Alcotest.test_case "parse errors are reported" `Quick
+            test_repro_errors;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "structural predicate minimizes" `Quick
+            test_shrink_structural;
+          Alcotest.test_case "run-derived predicate minimizes" `Quick
+            test_shrink_run_derived;
+        ] );
+      ( "oracle-mutations",
+        [
+          Alcotest.test_case "dropped delivery -> agreement" `Quick
+            test_mutation_dropped_delivery_breaks_agreement;
+          Alcotest.test_case "cross-view duplicate -> uniqueness" `Quick
+            test_mutation_cross_view_duplicate_breaks_uniqueness;
+          Alcotest.test_case "spurious message -> integrity" `Quick
+            test_mutation_spurious_message_breaks_integrity;
+          Alcotest.test_case "inverted delivery -> fifo" `Quick
+            test_mutation_inverted_delivery_breaks_fifo;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "every artifact replays clean" `Quick
+            test_corpus_replays_clean;
+        ] );
+    ]

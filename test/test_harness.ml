@@ -159,6 +159,22 @@ let scripts_end_recovered =
         script;
       Hashtbl.length down = 0 && not !partitioned)
 
+let scripts_respect_window =
+  script_property "scripts respect the start/duration window"
+    (fun _nodes script ->
+      (* Churn stays inside [start, start + duration); the closing heal +
+         recoveries land at the deadline (within a short fixed tail). *)
+      let start = 1.0 and duration = 5.0 in
+      let deadline = start +. duration in
+      List.for_all
+        (fun (time, action) ->
+          match action with
+          | Faults.Heal | Faults.Recover _ ->
+              time >= start && time <= deadline +. 0.5
+          | Faults.Crash _ | Faults.Partition _ ->
+              time >= start && time < deadline)
+        script)
+
 let scripts_valid_actions =
   script_property "crash only up nodes, recover only down ones"
     (fun _nodes script ->
@@ -239,6 +255,7 @@ let () =
           qt scripts_sorted;
           qt scripts_keep_someone_alive;
           qt scripts_end_recovered;
+          qt scripts_respect_window;
           qt scripts_valid_actions;
         ] );
       ( "stats",

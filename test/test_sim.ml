@@ -108,6 +108,27 @@ let test_pending_count () =
   Sim.cancel h1;
   check Alcotest.int "one pending after cancel" 1 (Sim.pending sim)
 
+(* The count is maintained live (no heap rebuild); in particular a cancelled
+   entry that is later lazily skipped by pop must not be double-counted. *)
+let test_pending_cancel_then_pop () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  let h1 = Sim.after sim 0.1 (fun () -> fired := 1 :: !fired) in
+  ignore (Sim.after sim 0.2 (fun () -> fired := 2 :: !fired));
+  ignore (Sim.after sim 0.3 (fun () -> fired := 3 :: !fired));
+  check Alcotest.int "three pending" 3 (Sim.pending sim);
+  Sim.cancel h1;
+  check Alcotest.int "two after cancel" 2 (Sim.pending sim);
+  Sim.cancel h1;
+  check Alcotest.int "re-cancel does not decrement" 2 (Sim.pending sim);
+  (* This pop skips the cancelled h1 and fires the 0.2 event. *)
+  check Alcotest.bool "step fires" true (Sim.step sim);
+  check (Alcotest.list Alcotest.int) "skipped the cancelled head" [ 2 ] !fired;
+  check Alcotest.int "one pending after pop" 1 (Sim.pending sim);
+  ignore (Sim.run sim);
+  check Alcotest.int "drained" 0 (Sim.pending sim);
+  check Alcotest.int "only live events processed" 2 (Sim.events_processed sim)
+
 let test_step () =
   let sim = Sim.create () in
   let n = ref 0 in
@@ -187,6 +208,8 @@ let () =
           Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
           Alcotest.test_case "past rejected" `Quick test_past_rejected;
           Alcotest.test_case "pending count" `Quick test_pending_count;
+          Alcotest.test_case "pending: cancel then pop" `Quick
+            test_pending_cancel_then_pop;
           Alcotest.test_case "single step" `Quick test_step;
           Alcotest.test_case "trace" `Quick test_trace;
           Alcotest.test_case "determinism" `Quick test_determinism;
