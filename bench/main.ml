@@ -222,7 +222,7 @@ let run_micro () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  let rows = Vs_util.Hashtblx.sorted_bindings ~cmp:String.compare results in
   let table =
     Table.create ~title:"micro-benchmarks (monotonic clock)"
       ~columns:[ "benchmark"; "time/run (ns)"; "r^2" ]
@@ -242,11 +242,13 @@ let run_micro () =
         | None -> "-"
       in
       Table.add_row table [ name; estimate; r2 ])
-    (List.sort (fun (a, _) (b, _) -> compare a b) rows);
+    rows;
   Table.print table
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    match Array.to_list Sys.argv with [] -> [] | _program :: rest -> rest
+  in
   let known_ids = List.map (fun (id, _, _) -> id) experiments in
   let unknown =
     List.filter (fun a -> not (List.mem a ("quick" :: "micro" :: known_ids))) args

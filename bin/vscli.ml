@@ -4,7 +4,8 @@
      experiment   regenerate the paper's tables (all or selected)
      campaign     run a randomized fault campaign and check the properties
      check        sweep seeds through the schedule explorer; shrink failures
-     trace        run a campaign and dump the annotated event trace *)
+     trace        run a campaign and dump the annotated event trace
+     lint         run the vslint determinism checks (same driver as vslint) *)
 
 module Sim = Vs_sim.Sim
 module Trace = Vs_sim.Trace
@@ -309,6 +310,53 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Run an EVS campaign and dump the event trace.")
     Term.(const run $ seed_arg $ nodes_arg $ duration_arg $ components $ limit)
 
+(* ---------- lint ---------- *)
+
+let lint_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON report.")
+  in
+  let rules =
+    Arg.(
+      value & opt_all string []
+      & info [ "rule" ] ~docv:"ID"
+          ~doc:"Only report this rule (repeatable): D1 D2 D3 D4 D5 S1.")
+  in
+  let explain =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"ID"
+          ~doc:"Print the rule's rationale and exit.")
+  in
+  let paths =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "Files or directories to lint; defaults to lib bin bench \
+             examples.")
+  in
+  let run json rules explain paths =
+    let code =
+      match explain with
+      | Some id -> Vs_lint.Driver.explain id
+      | None ->
+          let format =
+            if json then Vs_lint.Driver.Json else Vs_lint.Driver.Human
+          in
+          Vs_lint.Driver.run ~format ~rules ~paths ()
+    in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Lint the tree for determinism and protocol-hygiene hazards \
+          (rules D1-D5); shares its driver with the standalone vslint \
+          executable and the @lint dune alias.")
+    Term.(const run $ json $ rules $ explain $ paths)
+
 let () =
   let info =
     Cmd.info "vscli" ~version:"1.0.0"
@@ -318,4 +366,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ experiment_cmd; campaign_cmd; check_cmd; trace_cmd ]))
+       (Cmd.group info
+          [ experiment_cmd; campaign_cmd; check_cmd; trace_cmd; lint_cmd ]))

@@ -18,6 +18,11 @@ module Endpoint = Vs_vsync.Endpoint
 
 type msg = { label : string; reply_to : string option }
 
+let find_exn what tbl node =
+  match Hashtbl.find_opt tbl node with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "ordering_demo: no %s for node %d" what node)
+
 let run_scenario ~title ~order ~script =
   Printf.printf "\n== %s ==\n" title;
   let sim = Sim.create ~seed:7L () in
@@ -42,7 +47,7 @@ let run_scenario ~title ~order ~script =
               (* Causal scenario: answering creates a dependency. *)
               match m.reply_to with
               | None when m.label = "question" ->
-                  let ep = Hashtbl.find endpoints node in
+                  let ep = find_exn "endpoint" endpoints node in
                   if node = 2 then
                     Endpoint.multicast ep ~order
                       { label = "answer"; reply_to = Some m.label }
@@ -54,12 +59,12 @@ let run_scenario ~title ~order ~script =
            ~config:Endpoint.default_config ~callbacks))
     universe;
   ignore (Sim.run ~until:1.0 sim);
-  script sim (Hashtbl.find endpoints 0) (Hashtbl.find endpoints 1);
+  script sim (find_exn "endpoint" endpoints 0) (find_exn "endpoint" endpoints 1);
   ignore (Sim.run ~until:3.0 sim);
   List.iter
     (fun node ->
       Printf.printf "   p%d delivered: %s\n" node
-        (String.concat " < " (List.rev !(Hashtbl.find logs node))))
+        (String.concat " < " (List.rev !(find_exn "log" logs node))))
     universe
 
 let () =

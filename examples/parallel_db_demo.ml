@@ -60,11 +60,16 @@ let () =
           ~config:Endpoint.default_config ~keyspace ())
       universe
   in
+  let first_db =
+    match dbs with
+    | db :: _ -> db
+    | [] -> failwith "parallel_db_demo: empty universe"
+  in
   ignore (Sim.run ~until:1.0 sim);
   show_ranges sim dbs "four members, key space split four ways";
 
   print_endline "";
-  lookup_and_report sim (List.hd dbs) ~needle:48;
+  lookup_and_report sim first_db ~needle:48;
 
   print_endline "\n   >>> p3 crashes: the table is invalidated, everyone settles,";
   print_endline "   >>> the coordinator redistributes the key space";
@@ -73,7 +78,7 @@ let () =
   show_ranges sim dbs "three survivors cover the whole key space again";
 
   print_endline "";
-  lookup_and_report sim (List.hd dbs) ~needle:48;
+  lookup_and_report sim first_db ~needle:48;
   print_endline
     "\n   (same answer as before the crash: no key searched twice or missed)";
 

@@ -54,7 +54,12 @@ let scenario ~policy ~policy_name =
   show_structure sim kvs
     "after boot & settling: the app merged everyone into one subview";
 
-  ignore (Kv.put (List.hd kvs) ~key:"motto" ~value:"one group");
+  let first_kv =
+    match kvs with
+    | kv :: _ -> kv
+    | [] -> failwith "partition_merge_demo: empty universe"
+  in
+  ignore (Kv.put first_kv ~key:"motto" ~value:"one group");
   ignore (Sim.run ~until:2.0 sim);
 
   print_endline "\n   >>> partition {p0,p1} | {p2,p3,p4}; both sides keep writing";

@@ -52,11 +52,16 @@ let () =
       ~config:Endpoint.default_config ~file ~store ()
   in
   let files = List.map (fun node -> mk node 0) universe in
+  let first_file =
+    match files with
+    | f :: _ -> f
+    | [] -> failwith "replicated_file_demo: empty universe"
+  in
   ignore (Sim.run ~until:1.0 sim);
   show sim files "five replicas assembled: quorum, all Normal";
 
   print_endline "";
-  attempt_write (List.hd files) "release-1";
+  attempt_write first_file "release-1";
   ignore (Sim.run ~until:1.5 sim);
   show sim files "one-copy semantics: the write reached every replica";
 
@@ -66,7 +71,7 @@ let () =
   Net.set_partition net [ [ 0; 1 ]; [ 2; 3; 4 ] ];
   ignore (Sim.run ~until:2.5 sim);
   print_endline "";
-  attempt_write (List.hd files) "from-minority";
+  attempt_write first_file "from-minority";
   attempt_write (List.nth files 2) "release-2";
   ignore (Sim.run ~until:3.0 sim);
   show sim files "minority is Reduced (stale reads), majority progressed";

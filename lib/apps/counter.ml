@@ -63,6 +63,7 @@ let maybe_complete t =
         && List.for_all (fun m -> Hashtbl.mem reports m) members
       then begin
         let best =
+          (* vslint: allow D2 — commutative fold (max/max) *)
           Hashtbl.fold
             (fun _ (v, settled) (best_any, best_settled) ->
               (max v best_any, if settled then max v best_settled else best_settled))

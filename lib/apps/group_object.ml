@@ -76,14 +76,14 @@ let classify_now t =
 
 let record_mode_step t (step : Mode.Machine.step) =
   match step.Mode.Machine.cause with
-  | Some _ ->
+  | Some cause ->
       History.record t.history ~time:(Sim.now t.sim)
         (History.Mode_event
            { mode = step.Mode.Machine.into_mode; cause = step.Mode.Machine.cause });
       Sim.record t.sim ~component:"mode"
         (Printf.sprintf "%s %s: %s -> %s"
            (Proc_id.to_string (me t))
-           (Mode.transition_to_string (Option.get step.Mode.Machine.cause))
+           (Mode.transition_to_string cause)
            (Mode.to_string step.Mode.Machine.from_mode)
            (Mode.to_string step.Mode.Machine.into_mode));
       t.observer (Obs_mode step);

@@ -134,13 +134,14 @@ let primary_members_of (ev : E_view.t) ~settled =
             in
             if c > 0 then Some sv
             else if c < 0 then Some b
-            else if
-              Proc_id.compare
-                (List.hd sv.E_view.sv_members)
-                (List.hd b.E_view.sv_members)
-              < 0
-            then Some sv
-            else Some b)
+            else
+              match (sv.E_view.sv_members, b.E_view.sv_members) with
+              | sv_first :: _, b_first :: _ ->
+                  if Proc_id.compare sv_first b_first < 0 then Some sv
+                  else Some b
+              | [], _ | _, [] ->
+                  invalid_arg
+                    "Kv_store.primary_members_of: subview with no members")
       None candidates
   in
   Option.map (fun sv -> sv.E_view.sv_members) best
@@ -156,7 +157,14 @@ let maybe_finish_settling t =
         View.Id.equal st.ss_vid ev.E_view.view.View.id
         && List.for_all (fun m -> Hashtbl.mem st.ss_dumps m) members
       then begin
-        let dump_of p = fst (Hashtbl.find st.ss_dumps p) in
+        let dump_of p =
+          match Hashtbl.find_opt st.ss_dumps p with
+          | Some (entries, _) -> entries
+          | None ->
+              invalid_arg
+                "Kv_store.maybe_finish_settling: settling finished without a \
+                 dump from every member"
+        in
         (match t.policy with
         | Lww -> merge_dumps t lww_pick (List.map dump_of members)
         | Custom f -> merge_dumps t f (List.map dump_of members)

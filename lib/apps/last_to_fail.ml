@@ -67,8 +67,12 @@ let decide ~known_last_views reports =
   let lasts = List.filter_map (fun r -> r.r_last) reports in
   match lasts with
   | [] -> Fresh_start
-  | _ ->
-      let vmax = List.fold_left max (List.hd lasts) lasts in
+  | first :: rest ->
+      let vmax =
+        List.fold_left
+          (fun acc vid -> if View.Id.compare vid acc > 0 then vid else acc)
+          first rest
+      in
       let holders =
         List.filter_map
           (fun r ->

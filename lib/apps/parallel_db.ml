@@ -74,7 +74,12 @@ let refresh_annotation t =
 
 (* Merge a range into a disjoint sorted cover and test completeness. *)
 let add_range cover (lo, hi) =
-  let merged = List.sort compare ((lo, hi) :: cover) in
+  let merged =
+    List.sort
+      (fun (a, b) (c, d) ->
+        match Int.compare a c with 0 -> Int.compare b d | r -> r)
+      ((lo, hi) :: cover)
+  in
   let rec fuse = function
     | (a, b) :: (c, d) :: rest when c <= b -> fuse ((a, max b d) :: rest)
     | r :: rest -> r :: fuse rest
@@ -180,7 +185,7 @@ let lookup t ~needle =
 let result_of t qid =
   match Hashtbl.find_opt t.queries qid with
   | Some q when covers_keyspace t q.q_covered ->
-      Ok (List.sort_uniq compare q.q_hits)
+      Ok (List.sort_uniq Int.compare q.q_hits)
   | Some _ | None -> Error `Pending
 
 let create sim net ~me:me_ ~universe ~config ~keyspace ?(gate_on_settling = true)

@@ -117,15 +117,18 @@ let maybe_finish_settling t =
         && List.for_all (fun m -> Hashtbl.mem st.ss_reports m) members
       then begin
         let max_version =
+          (* vslint: allow D2 — commutative fold (max) *)
           Hashtbl.fold (fun _ (v, _) acc -> max v acc) st.ss_reports 0
         in
         let holders =
+          (* vslint: allow D2 — filtered accumulation; Proc_id.sort'ed below *)
           Hashtbl.fold
             (fun p (v, _) acc -> if v >= max_version then p :: acc else acc)
             st.ss_reports []
           |> Proc_id.sort
         in
         let laggards_exist =
+          (* vslint: allow D2 — commutative fold (or) *)
           Hashtbl.fold (fun _ (v, _) acc -> acc || v < max_version) st.ss_reports false
         in
         (match Proc_id.min_member holders with

@@ -118,7 +118,12 @@ let maybe_act t =
         && List.for_all (fun m -> Hashtbl.mem st.ss_present m) members
       then begin
         let donors =
-          List.filter (fun m -> Hashtbl.find st.ss_present m) members
+          List.filter
+            (fun m ->
+              match Hashtbl.find_opt st.ss_present m with
+              | Some present -> present
+              | None -> false)
+            members
         in
         match donors with
         | [] when t.bootstrap ->
@@ -133,7 +138,14 @@ let maybe_act t =
             ()
         | _ when t.full ->
             (* I am up to date; if I am the designated donor, ship. *)
-            let laggards = List.exists (fun m -> not (Hashtbl.find st.ss_present m)) members in
+            let laggards =
+              List.exists
+                (fun m ->
+                  match Hashtbl.find_opt st.ss_present m with
+                  | Some present -> not present
+                  | None -> false)
+                members
+            in
             let im_donor =
               match Proc_id.min_member donors with
               | Some d -> Proc_id.equal d (me t)

@@ -251,7 +251,7 @@ let load_dir dir =
   else
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun f -> Filename.check_suffix f ".sexp")
-    |> List.sort compare
+    |> List.sort String.compare
     |> List.map (fun f ->
            let path = Filename.concat dir f in
            (path, load path))

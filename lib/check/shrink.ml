@@ -16,7 +16,9 @@ let drop_chunk spec i size =
 let chunk_removals spec =
   let len = List.length spec.Campaign.script in
   let rec sizes s acc = if s >= 1 then sizes (s / 2) (s :: acc) else acc in
-  let sizes = if len = 0 then [] else List.sort_uniq compare (sizes (len / 2) [ 1 ]) in
+  let sizes =
+    if len = 0 then [] else List.sort_uniq Int.compare (sizes (len / 2) [ 1 ])
+  in
   (* Largest chunks first. *)
   List.concat_map
     (fun size ->

@@ -65,7 +65,8 @@ let run_churn ~seed ~mean_gap ~duration =
                  (App_fleet.live fleet)
              with
              | [] -> ()
-             | writable -> ignore (Rf.write (List.hd writable) (Printf.sprintf "w%f" time))));
+             | first_writable :: _ ->
+                 ignore (Rf.write first_writable (Printf.sprintf "w%f" time))));
       write_pump (time +. 0.1)
     end
   in

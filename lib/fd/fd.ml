@@ -1,5 +1,6 @@
 module Sim = Vs_sim.Sim
 module Proc_id = Vs_net.Proc_id
+module Hashtblx = Vs_util.Hashtblx
 
 type config = { period : float; timeout : float }
 
@@ -20,10 +21,9 @@ type t = {
 let compute_reachable t =
   let now = Sim.now t.sim in
   let fresh =
-    Hashtbl.fold
-      (fun p heard acc ->
-        if now -. heard < t.config.timeout then p :: acc else acc)
-      t.last_heard []
+    Hashtblx.sorted_bindings ~cmp:Proc_id.compare t.last_heard
+    |> List.filter_map (fun (p, heard) ->
+           if now -. heard < t.config.timeout then Some p else None)
   in
   Proc_id.sort (t.me :: fresh)
 

@@ -39,14 +39,14 @@ let evs_stable c =
   | handles ->
       let live_nodes =
         List.map (fun e -> (Evs.me e).Proc_id.node) handles
-        |> List.sort_uniq compare
+        |> List.sort_uniq Int.compare
       in
       let views = List.map Evs.view handles in
       (match views with
       | v :: rest ->
           List.for_all (fun v' -> View.equal v v') rest
           && Listx.equal_set ~cmp:Int.compare
-               (List.sort_uniq compare
+               (List.sort_uniq Int.compare
                   (List.map (fun (p : Proc_id.t) -> p.Proc_id.node) v.View.members))
                live_nodes
           && List.for_all (fun e -> not (Evs.is_blocked e)) handles

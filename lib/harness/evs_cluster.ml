@@ -39,7 +39,10 @@ let oracle t = t.oracle
 
 let net_stats t = Net.stats t.net
 
-let node_state t node = Hashtbl.find t.nodes node
+let node_state t node =
+  match Hashtbl.find_opt t.nodes node with
+  | Some st -> st
+  | None -> invalid_arg (Printf.sprintf "Evs_cluster: unknown node %d" node)
 
 let cause_string = function
   | Evs.View_change -> "view"

@@ -1,6 +1,7 @@
 module Sim = Vs_sim.Sim
 module Rng = Vs_util.Rng
 module Listx = Vs_util.Listx
+module Hashtblx = Vs_util.Hashtblx
 
 type action =
   | Partition of int list list
@@ -78,8 +79,8 @@ let random_script rng ~nodes ~start ~duration ~mean_gap ?(crash_weight = 1.0)
                 Hashtbl.replace crashed victim ();
                 Crash victim
             | `Recover ->
-                let nodes_down = Hashtbl.fold (fun n () acc -> n :: acc) crashed [] in
-                let lucky = Rng.pick rng (List.sort compare nodes_down) in
+                let nodes_down = Hashtblx.sorted_keys ~cmp:Int.compare crashed in
+                let lucky = Rng.pick rng nodes_down in
                 Hashtbl.remove crashed lucky;
                 Recover lucky
             | `Partition ->
@@ -98,8 +99,7 @@ let random_script rng ~nodes ~start ~duration ~mean_gap ?(crash_weight = 1.0)
   let closing =
     let t0 = deadline in
     let recoveries =
-      Hashtbl.fold (fun n () acc -> n :: acc) crashed []
-      |> List.sort compare
+      Hashtblx.sorted_keys ~cmp:Int.compare crashed
       |> List.mapi (fun i n -> (t0 +. (0.01 *. float_of_int (i + 1)), Recover n))
     in
     (t0, Heal) :: recoveries

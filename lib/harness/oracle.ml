@@ -1,13 +1,17 @@
 module Proc_id = Vs_net.Proc_id
 module View = Vs_gms.View
 module Listx = Vs_util.Listx
+module Hashtblx = Vs_util.Hashtblx
 
 type msg_id = { m_sender : Proc_id.t; m_index : int }
 
 let msg_id_to_string m =
   Printf.sprintf "%s#%d" (Proc_id.to_string m.m_sender) m.m_index
 
-let compare_msg_id a b = compare (a.m_sender, a.m_index) (b.m_sender, b.m_index)
+let compare_msg_id a b =
+  match Proc_id.compare a.m_sender b.m_sender with
+  | 0 -> Int.compare a.m_index b.m_index
+  | c -> c
 
 type t = {
   sends : (msg_id, [ `Fifo | `Total ]) Hashtbl.t;
@@ -48,8 +52,8 @@ let record_install t ~proc ~view ~prior ~time =
 
 let procs t =
   let all =
-    Hashtbl.fold (fun p _ acc -> p :: acc) t.deliveries []
-    @ Hashtbl.fold (fun p _ acc -> p :: acc) t.installs []
+    Hashtblx.sorted_keys ~cmp:Proc_id.compare t.deliveries
+    @ Hashtblx.sorted_keys ~cmp:Proc_id.compare t.installs
   in
   Proc_id.sort all
 
@@ -68,14 +72,12 @@ let total_deliveries t = t.n_deliveries
 let total_installs t = t.n_installs
 
 let install_counts t =
-  Hashtbl.fold (fun p r acc -> (p, List.length !r) :: acc) t.installs []
-  |> List.sort (fun (a, _) (b, _) -> Proc_id.compare a b)
+  Hashtblx.sorted_bindings ~cmp:Proc_id.compare t.installs
+  |> List.map (fun (p, r) -> (p, List.length !r))
 
 let distinct_views t =
-  Hashtbl.fold
-    (fun _ r acc ->
-      List.fold_left (fun acc (v, _, _) -> (v.View.id :: acc)) acc !r)
-    t.installs []
+  Hashtblx.sorted_bindings ~cmp:Proc_id.compare t.installs
+  |> List.concat_map (fun (_, r) -> List.map (fun (v, _, _) -> v.View.id) !r)
   |> Listx.sorted_set ~cmp:View.Id.compare
   |> List.length
 
@@ -136,15 +138,14 @@ let check_uniqueness t =
             Hashtbl.replace table m (vid :: vids))
         (deliveries_of t ~proc:p))
     (procs t);
-  Hashtbl.fold
-    (fun m vids acc ->
-      if List.length vids > 1 then
-        Printf.sprintf "uniqueness: %s delivered in %d distinct views: %s"
-          (msg_id_to_string m) (List.length vids)
-          (String.concat "," (List.map View.Id.to_string vids))
-        :: acc
-      else acc)
-    table []
+  Hashtblx.sorted_bindings ~cmp:compare_msg_id table
+  |> List.filter_map (fun (m, vids) ->
+         if List.length vids > 1 then
+           Some
+             (Printf.sprintf "uniqueness: %s delivered in %d distinct views: %s"
+                (msg_id_to_string m) (List.length vids)
+                (String.concat "," (List.map View.Id.to_string vids)))
+         else None)
 
 (* Property 2.3: at-most-once per process, only actually-sent messages. *)
 let check_integrity t =

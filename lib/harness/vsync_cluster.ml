@@ -29,7 +29,10 @@ let oracle t = t.oracle
 
 let net_stats t = Net.stats t.net
 
-let node_state t node = Hashtbl.find t.nodes node
+let node_state t node =
+  match Hashtbl.find_opt t.nodes node with
+  | Some st -> st
+  | None -> invalid_arg (Printf.sprintf "Vsync_cluster: unknown node %d" node)
 
 let boot t node =
   let st = node_state t node in
@@ -209,14 +212,14 @@ let stable_view_reached t =
   | eps ->
       let live_nodes =
         List.map (fun ep -> (Endpoint.me ep).Proc_id.node) eps
-        |> List.sort_uniq compare
+        |> List.sort_uniq Int.compare
       in
       let views = List.map Endpoint.view eps in
       (match views with
       | v :: rest ->
           List.for_all (fun v' -> View.equal v v') rest
           && Listx.equal_set ~cmp:Int.compare
-               (List.sort_uniq compare
+               (List.sort_uniq Int.compare
                   (List.map (fun (p : Proc_id.t) -> p.Proc_id.node) v.View.members))
                live_nodes
           && List.for_all (fun ep -> not (Endpoint.is_blocked ep)) eps

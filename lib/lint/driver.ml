@@ -1,0 +1,131 @@
+(* Report rendering and the command-line driver shared by the standalone
+   [vslint] executable and the [vscli lint] subcommand. *)
+
+type format = Human | Json
+
+let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
+
+let usage =
+  "usage: vslint [--format human|json] [--rule ID]... [--explain ID] [PATH]...\n\
+   \n\
+   Lints every .ml under the given files/directories (default: lib bin bench\n\
+   examples) for determinism and protocol-hygiene hazards.  Exits 1 on any\n\
+   unsuppressed finding, 2 on usage errors.\n\
+   \n\
+  \  --format FMT   human (default) or json\n\
+  \  --rule ID      only report this rule (repeatable): D1 D2 D3 D4 D5 S1\n\
+  \  --explain ID   print the rule's rationale and exit\n"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print_finding_human (f : Lint.finding) =
+  Printf.printf "%s:%d:%d: [%s/%s] %s\n" f.Lint.file f.Lint.line f.Lint.col
+    f.Lint.rule.Rules.id
+    (Rules.severity_to_string f.Lint.rule.Rules.severity)
+    f.Lint.message;
+  Printf.printf "    hint: %s\n" f.Lint.rule.Rules.hint
+
+let finding_json (f : Lint.finding) =
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\",\"hint\":\"%s\"}"
+    f.Lint.rule.Rules.id
+    (Rules.severity_to_string f.Lint.rule.Rules.severity)
+    (json_escape f.Lint.file) f.Lint.line f.Lint.col
+    (json_escape f.Lint.message)
+    (json_escape f.Lint.rule.Rules.hint)
+
+let explain id =
+  match Rules.find id with
+  | None ->
+      Printf.eprintf "vslint: unknown rule %s (known: %s)\n" id
+        (String.concat " " (List.map (fun r -> r.Rules.id) Rules.all));
+      2
+  | Some r ->
+      Printf.printf "%s (%s): %s\n\n%s\n\nfix: %s\n" r.Rules.id
+        (Rules.severity_to_string r.Rules.severity)
+        r.Rules.title r.Rules.explain r.Rules.hint;
+      0
+
+(* Run the lint pass and print the report; the return value is the process
+   exit code. *)
+let run ?(format = Human) ?(rules = []) ?paths () =
+  let unknown = List.filter (fun id -> Rules.find id = None) rules in
+  if unknown <> [] then begin
+    Printf.eprintf "vslint: unknown rule(s): %s\n" (String.concat " " unknown);
+    2
+  end
+  else
+    let roots = match paths with Some (_ :: _ as p) -> p | Some [] | None -> default_roots in
+    match List.filter (fun p -> not (Sys.file_exists p)) roots with
+    | _ :: _ as missing ->
+        Printf.eprintf "vslint: no such file or directory: %s\n"
+          (String.concat " " missing);
+        2
+    | [] ->
+        let files = Lint.collect_ml_files roots in
+        let keep (f : Lint.finding) =
+          rules = [] || List.exists (String.equal f.Lint.rule.Rules.id) rules
+        in
+        let reports = List.map (fun file -> Lint.lint_file file) files in
+        let findings =
+          List.concat_map (fun r -> List.filter keep r.Lint.findings) reports
+        in
+        let suppressed =
+          List.concat_map (fun r -> List.filter keep r.Lint.suppressed) reports
+        in
+        (match format with
+        | Human ->
+            List.iter print_finding_human findings;
+            Printf.printf
+              "vslint: %d file(s), %d finding(s), %d suppressed with \
+               justification\n"
+              (List.length files) (List.length findings)
+              (List.length suppressed)
+        | Json ->
+            Printf.printf "{\"files\":%d,\"suppressed\":%d,\"findings\":[%s]}\n"
+              (List.length files) (List.length suppressed)
+              (String.concat "," (List.map finding_json findings)));
+        if findings = [] then 0 else 1
+
+(* argv-level entry point for bin/vslint. *)
+let main argv =
+  let rec parse args (format, rules, explain_id, paths) =
+    match args with
+    | [] -> Ok (format, rules, explain_id, List.rev paths)
+    | "--format" :: fmt :: rest -> (
+        match fmt with
+        | "human" -> parse rest (Human, rules, explain_id, paths)
+        | "json" -> parse rest (Json, rules, explain_id, paths)
+        | other -> Error (Printf.sprintf "unknown format %S" other))
+    | "--rule" :: id :: rest -> parse rest (format, rules @ [ id ], explain_id, paths)
+    | "--explain" :: id :: rest -> parse rest (format, rules, Some id, paths)
+    | ("--help" | "-h") :: _ -> Error ""
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+        Error (Printf.sprintf "unknown option %s" arg)
+    | path :: rest -> parse rest (format, rules, explain_id, path :: paths)
+  in
+  let args =
+    match Array.to_list argv with [] -> [] | _program :: rest -> rest
+  in
+  match parse args (Human, [], None, []) with
+  | Error "" ->
+      print_string usage;
+      0
+  | Error msg ->
+      Printf.eprintf "vslint: %s\n%s" msg usage;
+      2
+  | Ok (_, _, Some id, _) -> explain id
+  | Ok (format, rules, None, paths) -> run ~format ~rules ~paths ()

@@ -136,15 +136,11 @@ let sample_delay t ~bytes =
 let deliver_later ?(extra_copy = false) t env =
   let bytes = t.size_of env.payload in
   let deliver () =
-    let ok =
-      Hashtbl.mem t.handlers env.dst
-      && connected t env.src.Proc_id.node env.dst.Proc_id.node
-    in
-    if ok then begin
-      t.delivered <- t.delivered + 1;
-      (Hashtbl.find t.handlers env.dst) env
-    end
-    else t.dropped <- t.dropped + 1
+    match Hashtbl.find_opt t.handlers env.dst with
+    | Some handler when connected t env.src.Proc_id.node env.dst.Proc_id.node ->
+        t.delivered <- t.delivered + 1;
+        handler env
+    | Some _ | None -> t.dropped <- t.dropped + 1
   in
   ignore (Sim.after t.sim (sample_delay t ~bytes) deliver);
   if extra_copy then begin
@@ -186,9 +182,12 @@ let send_node t ~src ~dst_node payload =
     let bytes = t.size_of payload in
     let deliver () =
       match live_on_node t dst_node with
-      | Some dst when connected t src.Proc_id.node dst_node ->
-          t.delivered <- t.delivered + 1;
-          (Hashtbl.find t.handlers dst) { src; dst; sent_at; payload }
+      | Some dst when connected t src.Proc_id.node dst_node -> (
+          match Hashtbl.find_opt t.handlers dst with
+          | Some handler ->
+              t.delivered <- t.delivered + 1;
+              handler { src; dst; sent_at; payload }
+          | None -> t.dropped <- t.dropped + 1)
       | Some _ | None -> t.dropped <- t.dropped + 1
     in
     ignore (Sim.after t.sim (sample_delay t ~bytes) deliver);

@@ -6,6 +6,11 @@ let make ~node ~inc =
 
 let initial node = make ~node ~inc:0
 
+(* Same order as the derived one, spelled out so callers (and vslint rule
+   D5) see a typed comparator rather than Stdlib's polymorphic compare. *)
+let compare a b =
+  match Int.compare a.node b.node with 0 -> Int.compare a.inc b.inc | c -> c
+
 let to_string t =
   if t.inc = 0 then Printf.sprintf "p%d" t.node
   else Printf.sprintf "p%d.%d" t.node t.inc
@@ -14,7 +19,10 @@ let sort ids = Vs_util.Listx.sorted_set ~cmp:compare ids
 
 let min_member = function
   | [] -> None
-  | ids -> Some (List.fold_left min (List.hd ids) ids)
+  | first :: rest ->
+      Some
+        (List.fold_left (fun acc p -> if compare p acc < 0 then p else acc)
+           first rest)
 
 module Ord = struct
   type nonrec t = t

@@ -20,8 +20,8 @@ and t = {
 }
 
 let compare_handle a b =
-  let c = compare a.fire_at b.fire_at in
-  if c <> 0 then c else compare a.seq b.seq
+  let c = Float.compare a.fire_at b.fire_at in
+  if c <> 0 then c else Int.compare a.seq b.seq
 
 let create ?(seed = 1L) () =
   {

@@ -20,7 +20,7 @@ let max_value t = List.fold_left max neg_infinity t.rev_samples
 let percentile t p =
   if t.n = 0 then 0.
   else begin
-    let sorted = List.sort compare t.rev_samples in
+    let sorted = List.sort Float.compare t.rev_samples in
     let rank =
       int_of_float (ceil (p *. float_of_int t.n)) - 1
       |> max 0

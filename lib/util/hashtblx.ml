@@ -1,0 +1,16 @@
+(* Deterministic views of Hashtbl contents.
+
+   Hashtbl enumeration order is a function of hash-bucket layout, not of
+   anything the protocol reasons about, so vslint (rule D2) rejects raw
+   iter/fold sites.  These helpers are the sanctioned escape hatch: they
+   enumerate once and immediately impose the caller's total order, so the
+   result is independent of insertion history. *)
+
+let sorted_bindings ~cmp tbl =
+  (* vslint: allow D2 — the fold's result is sorted by [cmp] before anyone sees it *)
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (ka, _) (kb, _) -> cmp ka kb)
+
+let sorted_keys ~cmp tbl =
+  (* vslint: allow D2 — the fold's result is sorted by [cmp] before anyone sees it *)
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort cmp

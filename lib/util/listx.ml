@@ -52,7 +52,7 @@ let group_by ~key ~cmp_key xs =
   in
   let group k =
     Hashtbl.find_all tbl k
-    |> List.sort (fun (i, _) (j, _) -> compare i j)
+    |> List.sort (fun (i, _) (j, _) -> Int.compare i j)
     |> List.map snd
   in
   List.map (fun k -> (k, group k)) keys

@@ -6,6 +6,7 @@ module View = Vs_gms.View
 module Estimator = Vs_gms.Estimator
 module Listx = Vs_util.Listx
 module Rng = Vs_util.Rng
+module Hashtblx = Vs_util.Hashtblx
 
 type order = Fifo | Total | Causal
 
@@ -265,6 +266,7 @@ let ctl_acked t rid =
   | None -> ()
 
 let ctl_reset t =
+  (* vslint: allow D2 — cancel-only sweep; timer cancellation commutes *)
   Hashtbl.iter (fun _ entry -> ctl_cancel entry) t.ctl_pending;
   Hashtbl.reset t.ctl_pending
 
@@ -304,17 +306,16 @@ let stability_floor t sender =
    view above the stability floor, in canonical (sender, seq) order — the
    flush report. *)
 let all_seen t =
-  Hashtbl.fold
-    (fun sender s acc ->
-      let floor =
-        match t.config.stability_interval with
-        | Some _ -> stability_floor t sender
-        | None -> 0
-      in
-      Hashtbl.fold
-        (fun seq d acc -> if seq >= floor then d :: acc else acc)
-        s.log acc)
-    t.streams []
+  Hashtblx.sorted_bindings ~cmp:Proc_id.compare t.streams
+  |> List.concat_map (fun (sender, s) ->
+         let floor =
+           match t.config.stability_interval with
+           | Some _ -> stability_floor t sender
+           | None -> 0
+         in
+         Hashtblx.sorted_bindings ~cmp:Int.compare s.log
+         |> List.filter_map (fun (seq, d) ->
+                if seq >= floor then Some d else None))
   |> List.sort Wire.compare_data
 
 let deliver_user t (d : 'a Wire.data) =
@@ -346,8 +347,12 @@ let drain_all t =
   let progress = ref true in
   while !progress do
     progress := false;
-    Hashtbl.iter
-      (fun _ s ->
+    (* Snapshot the streams in Proc_id order each pass: cross-stream
+       delivery order must not depend on hash-bucket layout, and the app's
+       on_message callback is free to multicast (which must not observe a
+       table mid-iteration). *)
+    List.iter
+      (fun (_, s) ->
         let continue_stream = ref true in
         while !continue_stream do
           match Hashtbl.find_opt s.buffer s.next with
@@ -358,7 +363,7 @@ let drain_all t =
               progress := true
           | Some _ | None -> continue_stream := false
         done)
-      t.streams
+      (Hashtblx.sorted_bindings ~cmp:Proc_id.compare t.streams)
   done
 
 (* Where to send the [round]-th NACK for a gap in [sender]'s stream: the
@@ -388,6 +393,7 @@ let rec arm_nack t sender s =
              && Hashtbl.length s.buffer > 0
            then begin
              let max_buffered =
+               (* vslint: allow D2 — commutative fold (max) *)
                Hashtbl.fold (fun seq _ acc -> max seq acc) s.buffer (-1)
              in
              let missing = ref [] in
@@ -424,11 +430,13 @@ let rec multicast t ?(order = Fifo) payload =
         match order with
         | Fifo -> send_data t (Wire.User payload)
         | Causal ->
+            (* Dependency vector in Proc_id order: consumers are
+               order-insensitive (List.for_all), but the wire image feeds
+               traces and byte-identical replay. *)
             let deps =
-              Hashtbl.fold
-                (fun sender s acc ->
-                  if s.next > 0 then (sender, s.next) :: acc else acc)
-                t.streams []
+              Hashtblx.sorted_bindings ~cmp:Proc_id.compare t.streams
+              |> List.filter_map (fun (sender, s) ->
+                     if s.next > 0 then Some (sender, s.next) else None)
             in
             send_data t (Wire.Causal { deps; user = payload })
         | Total ->
@@ -583,7 +591,15 @@ and finalize_proposal t p =
   cancel_proposal_timer p;
   t.proposal <- None;
   let acks =
-    List.map (fun m -> (m, Hashtbl.find p.p_acks m)) p.p_members
+    List.map
+      (fun m ->
+        match Hashtbl.find_opt p.p_acks m with
+        | Some a -> (m, a)
+        | None ->
+            invalid_arg
+              "Endpoint.finalize_proposal: finalized without a flush ack from \
+               every member")
+      p.p_members
   in
   (* Per prior view, the union of messages seen by its survivors. *)
   let by_prior =
@@ -738,11 +754,14 @@ and handle_to_request t ~orig ~rseq ~user =
       in
       if rseq >= !next then begin
         Hashtbl.replace pending rseq user;
-        while Hashtbl.mem pending !next do
-          let u = Hashtbl.find pending !next in
-          Hashtbl.remove pending !next;
-          incr next;
-          send_data t (Wire.Relay { orig; user = u })
+        let contiguous = ref true in
+        while !contiguous do
+          match Hashtbl.find_opt pending !next with
+          | Some u ->
+              Hashtbl.remove pending !next;
+              incr next;
+              send_data t (Wire.Relay { orig; user = u })
+          | None -> contiguous := false
         done
       end
   | Active | Flushing _ -> t.s_to_dropped <- t.s_to_dropped + 1
@@ -753,26 +772,30 @@ and handle_to_request t ~orig ~rseq ~user =
 let handle_stable_report t ~src ~vid ~vector =
   if View.Id.equal vid t.view.View.id then begin
     Hashtbl.replace t.stable_vectors src vector;
-    Hashtbl.iter
-      (fun sender s ->
+    List.iter
+      (fun (sender, s) ->
         let floor = stability_floor t sender in
         if floor > 0 then
-          Hashtbl.iter
-            (fun seq _ ->
+          List.iter
+            (fun seq ->
               if seq < floor then begin
                 Hashtbl.remove s.log seq;
                 t.s_stabilized <- t.s_stabilized + 1
               end)
-            (Hashtbl.copy s.log))
-      t.streams
+            (Hashtblx.sorted_keys ~cmp:Int.compare s.log))
+      (Hashtblx.sorted_bindings ~cmp:Proc_id.compare t.streams)
   end
 
 let rec stability_tick t interval () =
   if t.alive then begin
     (match t.phase with
     | Active when View.size t.view > 1 ->
+        (* The delivered-prefix vector travels on the wire: emit it in
+           Proc_id order so identically-seeded runs produce byte-identical
+           messages and traces. *)
         let vector =
-          Hashtbl.fold (fun sender s acc -> (sender, s.next) :: acc) t.streams []
+          Hashtblx.sorted_bindings ~cmp:Proc_id.compare t.streams
+          |> List.map (fun (sender, s) -> (sender, s.next))
         in
         let report =
           Wire.Stable_report { vid = t.view.View.id; vector }

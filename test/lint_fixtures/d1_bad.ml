@@ -1,0 +1,3 @@
+(* Bad: ambient randomness and wall-clock reads outside lib/sim and Rng. *)
+let jitter () = Random.float 0.5
+let stamp () = Unix.gettimeofday ()

@@ -1,0 +1,4 @@
+(* Good: randomness flows through the campaign-seeded generator and time
+   through the simulated clock. *)
+let jitter rng = Vs_util.Rng.float rng 0.5
+let stamp sim = Vs_sim.Sim.now sim

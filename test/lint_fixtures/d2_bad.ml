@@ -1,0 +1,3 @@
+(* Bad: raw Hashtbl enumeration feeds the caller in hash-bucket order. *)
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+let visit tbl f = Hashtbl.iter (fun k v -> f k v) tbl

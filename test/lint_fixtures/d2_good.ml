@@ -1,0 +1,4 @@
+(* Good: enumeration goes through the sorted helpers, which impose a total
+   order before anyone sees the result. *)
+let keys tbl = Vs_util.Hashtblx.sorted_keys ~cmp:Int.compare tbl
+let bindings tbl = Vs_util.Hashtblx.sorted_bindings ~cmp:String.compare tbl

@@ -1,0 +1,9 @@
+(* Good: the missing case is an explicit match with a descriptive error. *)
+let first = function
+  | x :: _ -> x
+  | [] -> invalid_arg "d3_good.first: empty list"
+
+let lookup tbl k =
+  match Hashtbl.find_opt tbl k with
+  | Some v -> v
+  | None -> invalid_arg "d3_good.lookup: unknown key"

@@ -1,0 +1,3 @@
+(* Bad: Obj.magic and physical equality on structural data. *)
+let coerce x = Obj.magic x
+let same a b = a == b

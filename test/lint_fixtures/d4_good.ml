@@ -1,0 +1,2 @@
+(* Good: structural comparison through the type's own equality. *)
+let same a b = String.equal a b

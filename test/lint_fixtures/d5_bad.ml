@@ -1,0 +1,3 @@
+(* Bad: polymorphic compare on protocol data. *)
+let sort_members ms = List.sort compare ms
+let ordered a b = Stdlib.compare a b

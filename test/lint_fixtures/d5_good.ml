@@ -1,0 +1,7 @@
+(* Good: a named element comparator, or a local binding that shadows the
+   polymorphic one. *)
+let sort_members ms = List.sort My_id.compare ms
+
+let compare a b = Int.compare a b
+
+let sort_ints xs = List.sort compare xs

@@ -1,0 +1,165 @@
+(* vslint fixture tests: every bad fixture trips exactly its rule with
+   span-accurate findings, every good fixture (including justified
+   suppressions) passes clean — plus the determinism regression the linter
+   exists to protect: two identically-seeded cluster runs must produce
+   byte-identical traces. *)
+
+module Lint = Vs_lint.Lint
+module Rules = Vs_lint.Rules
+module Sim = Vs_sim.Sim
+module Trace = Vs_sim.Trace
+module Faults = Vs_harness.Faults
+module Vc = Vs_harness.Vsync_cluster
+
+let check = Alcotest.check
+
+(* dune runtest runs in _build/default/test; dune exec from the root. *)
+let fixture name =
+  let local = Filename.concat "lint_fixtures" name in
+  if Sys.file_exists local then local
+  else Filename.concat "test" local
+
+let finding_rules (r : Lint.report) =
+  List.map (fun (f : Lint.finding) -> f.Lint.rule.Rules.id) r.Lint.findings
+
+let finding_lines (r : Lint.report) =
+  List.map (fun (f : Lint.finding) -> f.Lint.line) r.Lint.findings
+
+(* ---------- bad fixtures: exactly their own rule, at the right lines ---------- *)
+
+let test_bad ~file ~rules ~lines () =
+  let r = Lint.lint_file (fixture file) in
+  check (Alcotest.list Alcotest.string) (file ^ ": rules") rules
+    (finding_rules r);
+  check (Alcotest.list Alcotest.int) (file ^ ": lines") lines (finding_lines r);
+  check Alcotest.int (file ^ ": nothing suppressed") 0
+    (List.length r.Lint.suppressed)
+
+let test_d5_bad_cols () =
+  (* Span accuracy down to the column, on the D5 fixture. *)
+  let r = Lint.lint_file (fixture "d5_bad.ml") in
+  check (Alcotest.list Alcotest.int) "d5 columns" [ 32; 18 ]
+    (List.map (fun (f : Lint.finding) -> f.Lint.col) r.Lint.findings)
+
+(* ---------- good fixtures: clean ---------- *)
+
+let test_good ~file () =
+  let r = Lint.lint_file (fixture file) in
+  check (Alcotest.list Alcotest.string) (file ^ ": clean") [] (finding_rules r)
+
+let test_suppressed_fixture () =
+  let r = Lint.lint_file (fixture "d2_suppressed.ml") in
+  check (Alcotest.list Alcotest.string) "no findings" [] (finding_rules r);
+  check (Alcotest.list Alcotest.string) "one justified suppression" [ "D2" ]
+    (List.map
+       (fun (f : Lint.finding) -> f.Lint.rule.Rules.id)
+       r.Lint.suppressed)
+
+(* ---------- suppression semantics on inline sources ---------- *)
+
+(* Assembled so vslint never reads this file's own text as a suppression. *)
+let allow_comment id just = "(* vs" ^ "lint: allow " ^ id ^ " " ^ just ^ " *)"
+
+let test_wrong_rule_does_not_suppress () =
+  let source =
+    allow_comment "D3" "— justified, but for another rule"
+    ^ "\nlet keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n"
+  in
+  let r = Lint.lint_source ~path:"inline.ml" source in
+  check (Alcotest.list Alcotest.string) "D2 still reported" [ "D2" ]
+    (finding_rules r)
+
+let test_same_line_suppression () =
+  let source =
+    "let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] "
+    ^ allow_comment "D2" "— commutative enough for a test"
+    ^ "\n"
+  in
+  let r = Lint.lint_source ~path:"inline.ml" source in
+  check (Alcotest.list Alcotest.string) "suppressed" [] (finding_rules r);
+  check Alcotest.int "recorded" 1 (List.length r.Lint.suppressed)
+
+let test_d1_exemptions () =
+  let source = "let jitter () = Random.float 0.5\n" in
+  let hit = Lint.lint_source ~path:"lib/vsync/endpoint.ml" source in
+  check (Alcotest.list Alcotest.string) "protocol code: D1" [ "D1" ]
+    (finding_rules hit);
+  let sim = Lint.lint_source ~path:"lib/sim/sim.ml" source in
+  check (Alcotest.list Alcotest.string) "lib/sim is exempt" []
+    (finding_rules sim);
+  let rng = Lint.lint_source ~path:"lib/util/rng.ml" source in
+  check (Alcotest.list Alcotest.string) "util/rng.ml is exempt" []
+    (finding_rules rng)
+
+let test_unparseable_source () =
+  let r = Lint.lint_source ~path:"broken.ml" "let let let = = =\n" in
+  check (Alcotest.list Alcotest.string) "parse failure reported" [ "P1" ]
+    (finding_rules r)
+
+(* ---------- the regression vslint protects: seed -> one run ---------- *)
+
+let rendered_trace seed =
+  let nodes = [ 0; 1; 2; 3 ] in
+  let c = Vc.create ~seed ~n:(List.length nodes) () in
+  let rng = Vs_util.Rng.create (Int64.add seed 999L) in
+  let script =
+    Faults.random_script rng ~nodes ~start:1.0 ~duration:3.0 ~mean_gap:0.5 ()
+  in
+  Vc.run_script c script;
+  Vc.pump_traffic c ~start:0.5 ~until:3.5 ~mean_gap:0.05;
+  Vc.run c ~until:6.0;
+  String.concat "\n"
+    (List.map
+       (fun e -> Format.asprintf "%a" Trace.pp_entry e)
+       (Trace.entries (Sim.trace (Vc.sim c))))
+
+let test_identical_seed_identical_trace () =
+  let a = rendered_trace 11L and b = rendered_trace 11L in
+  check Alcotest.bool "trace is non-trivial" true (String.length a > 1000);
+  check Alcotest.string "byte-identical traces" a b
+
+let () =
+  Alcotest.run "vs_lint"
+    [
+      ( "bad fixtures",
+        [
+          Alcotest.test_case "d1_bad" `Quick
+            (test_bad ~file:"d1_bad.ml" ~rules:[ "D1"; "D1" ] ~lines:[ 2; 3 ]);
+          Alcotest.test_case "d2_bad" `Quick
+            (test_bad ~file:"d2_bad.ml" ~rules:[ "D2"; "D2" ] ~lines:[ 2; 3 ]);
+          Alcotest.test_case "d3_bad" `Quick
+            (test_bad ~file:"d3_bad.ml"
+               ~rules:[ "D3"; "D3"; "D3"; "D3" ]
+               ~lines:[ 2; 3; 4; 5 ]);
+          Alcotest.test_case "d4_bad" `Quick
+            (test_bad ~file:"d4_bad.ml" ~rules:[ "D4"; "D4" ] ~lines:[ 2; 3 ]);
+          Alcotest.test_case "d5_bad" `Quick
+            (test_bad ~file:"d5_bad.ml" ~rules:[ "D5"; "D5" ] ~lines:[ 2; 3 ]);
+          Alcotest.test_case "d5_bad columns" `Quick test_d5_bad_cols;
+          Alcotest.test_case "s1_bad" `Quick
+            (test_bad ~file:"s1_bad.ml" ~rules:[ "S1"; "D2" ] ~lines:[ 4; 5 ]);
+        ] );
+      ( "good fixtures",
+        [
+          Alcotest.test_case "d1_good" `Quick (test_good ~file:"d1_good.ml");
+          Alcotest.test_case "d2_good" `Quick (test_good ~file:"d2_good.ml");
+          Alcotest.test_case "d3_good" `Quick (test_good ~file:"d3_good.ml");
+          Alcotest.test_case "d4_good" `Quick (test_good ~file:"d4_good.ml");
+          Alcotest.test_case "d5_good" `Quick (test_good ~file:"d5_good.ml");
+          Alcotest.test_case "d2_suppressed" `Quick test_suppressed_fixture;
+        ] );
+      ( "suppressions",
+        [
+          Alcotest.test_case "wrong rule does not suppress" `Quick
+            test_wrong_rule_does_not_suppress;
+          Alcotest.test_case "same-line suppression" `Quick
+            test_same_line_suppression;
+          Alcotest.test_case "d1 exemptions" `Quick test_d1_exemptions;
+          Alcotest.test_case "unparseable source" `Quick test_unparseable_source;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "identical seed, identical trace" `Quick
+            test_identical_seed_identical_trace;
+        ] );
+    ]
