@@ -71,6 +71,149 @@ let run_explorer_smoke () =
     report.Explorer.failures;
   if report.Explorer.failures <> [] then exit 1
 
+(* ---------- observability overhead: instrumentation off vs on ---------- *)
+
+module Recorder = Vs_obs.Recorder
+module Json = Vs_obs.Json
+
+(* Allocation is the honest overhead metric here: it is deterministic (so it
+   belongs in a lint-clean bench) and it is exactly what the Full-level
+   guards are supposed to eliminate on the off path. *)
+let measured_alloc f =
+  Gc.full_major ();
+  let before = Gc.allocated_bytes () in
+  f ();
+  Gc.allocated_bytes () -. before
+
+(* Words allocated per [Net.send] at a given recording level.  A long warm-up
+   grows the simulator's event heap past any further doubling, [Gc.minor]
+   empties the nursery, and the measured batch is small enough to fit in it —
+   so [Gc.minor_words] (precise in native code) counts exactly the per-send
+   allocations, with no GC-phase noise.  ([Gc.allocated_bytes] deltas are not
+   stable here: the heap-array growths land minor-or-major depending on
+   nursery phase.) *)
+let words_per_send ~level =
+  let module Net = Vs_net.Net in
+  let module Sim = Vs_sim.Sim in
+  let recorder = Recorder.create ~level () in
+  let sim = Sim.create ~seed:11L ~obs:recorder () in
+  let net = Net.create sim Net.default_config in
+  let a = Proc_id.initial 0 and b = Proc_id.initial 1 in
+  Net.register net a (fun _ -> ());
+  Net.register net b (fun _ -> ());
+  for _ = 1 to 20_000 do
+    Net.send net ~src:a ~dst:b 0
+  done;
+  Gc.minor ();
+  let sends = 64 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to sends do
+    Net.send net ~src:a ~dst:b 0
+  done;
+  (Gc.minor_words () -. w0) /. float_of_int sends
+
+let run_obs () =
+  print_endline "### OBS — observability overhead (instrumentation off vs on)\n";
+  (* 1. The send fast path must not allocate for instrumentation unless the
+     run records at Full level: Off and Protocol must match to the word. *)
+  let off = words_per_send ~level:Recorder.Off in
+  let proto = words_per_send ~level:Recorder.Protocol in
+  let full = words_per_send ~level:Recorder.Full in
+  let alloc_table =
+    Table.create ~title:"allocation per Net.send by recording level"
+      ~columns:[ "level"; "words/send" ]
+  in
+  Table.add_rows alloc_table
+    [
+      [ "off"; Table.ffloat ~decimals:1 off ];
+      [ "protocol"; Table.ffloat ~decimals:1 proto ];
+      [ "full"; Table.ffloat ~decimals:1 full ];
+    ];
+  Table.print alloc_table;
+  if proto <> off then begin
+    Printf.printf
+      "OBS FAILURE: send allocates %+.1f extra words at Protocol level \
+       (expected zero off-path overhead)\n"
+      (proto -. off);
+    exit 1
+  end;
+  (* 2. Whole-experiment allocation deltas, instrumentation off vs Full, via
+     the process-wide default level every Sim.create picks up. *)
+  let saved = Recorder.default_level () in
+  let rows =
+    List.map
+      (fun (id, _blurb, tables) ->
+        let run : ?quick:bool -> unit -> Table.t list = tables in
+        Recorder.set_default_level Recorder.Off;
+        let bytes_off = measured_alloc (fun () -> ignore (run ~quick:true ())) in
+        Recorder.set_default_level Recorder.Full;
+        let bytes_on = measured_alloc (fun () -> ignore (run ~quick:true ())) in
+        (id, bytes_off, bytes_on))
+      experiments
+  in
+  Recorder.set_default_level saved;
+  let delta_table =
+    Table.create ~title:"E-series allocation, recording off vs Full (quick sweeps)"
+      ~columns:[ "experiment"; "MB off"; "MB on"; "ratio" ]
+  in
+  List.iter
+    (fun (id, bytes_off, bytes_on) ->
+      Table.add_row delta_table
+        [
+          id;
+          Table.ffloat ~decimals:2 (bytes_off /. 1e6);
+          Table.ffloat ~decimals:2 (bytes_on /. 1e6);
+          Table.ffloat ~decimals:3
+            (if bytes_off > 0. then bytes_on /. bytes_off else 0.);
+        ])
+    rows;
+  Table.print delta_table;
+  (* 3. Derived metrics for one Full-level campaign, the block EXPERIMENTS.md
+     points at for the paper's per-view costs. *)
+  let module Campaign = Vs_check.Campaign in
+  let module Metrics = Vs_obs.Metrics in
+  let recorder = Recorder.create ~level:Recorder.Full () in
+  let spec = Campaign.generate ~seed:7 ~nodes:5 ~quick:true () in
+  let (_ : Campaign.outcome) = Campaign.run ~obs:recorder spec in
+  Printf.printf "metrics for one Full-level campaign (%s):\n\n"
+    (Campaign.describe spec);
+  print_endline (Metrics.to_text (Metrics.of_entries (Recorder.entries recorder)));
+  print_newline ();
+  (* 4. Machine-readable record of the same numbers. *)
+  let json =
+    Json.Obj
+      [
+        ( "send_words_per_call",
+          Json.Obj
+            [
+              ("off", Json.Float off);
+              ("protocol", Json.Float proto);
+              ("full", Json.Float full);
+            ] );
+        ("zero_alloc_off_path", Json.Bool (proto = off));
+        ( "experiments",
+          Json.Arr
+            (List.map
+               (fun (id, bytes_off, bytes_on) ->
+                 Json.Obj
+                   [
+                     ("id", Json.Str id);
+                     ("alloc_bytes_off", Json.Float bytes_off);
+                     ("alloc_bytes_on", Json.Float bytes_on);
+                     ( "overhead_ratio",
+                       Json.Float
+                         (if bytes_off > 0. then bytes_on /. bytes_off else 0.)
+                     );
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_obs.json\n"
+
 (* ---------- Bechamel micro-benchmarks: the hot operation of each table ---------- *)
 
 let p n = Proc_id.initial n
@@ -251,27 +394,35 @@ let () =
   in
   let known_ids = List.map (fun (id, _, _) -> id) experiments in
   let unknown =
-    List.filter (fun a -> not (List.mem a ("quick" :: "micro" :: known_ids))) args
+    List.filter
+      (fun a -> not (List.mem a ("quick" :: "micro" :: "obs" :: known_ids)))
+      args
   in
   if unknown <> [] then begin
     Printf.eprintf "unknown argument(s): %s\n" (String.concat " " unknown);
     Printf.eprintf
-      "usage: main.exe [quick] [micro] [%s]...\n\
-      \  no arguments        run all experiments plus the micro-benchmarks\n\
+      "usage: main.exe [quick] [micro] [obs] [%s]...\n\
+      \  no arguments        run all experiments, the observability overhead\n\
+      \                      section and the micro-benchmarks\n\
       \  quick               smaller sweeps (CI-sized)\n\
       \  micro               run the Bechamel micro-benchmarks\n\
+      \  obs                 run the observability overhead section\n\
       \  <experiment id>     run only the named experiments\n"
       (String.concat "|" known_ids);
     exit 2
   end;
   let quick = List.mem "quick" args in
   let micro = List.mem "micro" args in
+  let obs = List.mem "obs" args in
   let only = List.filter (fun a -> List.mem a known_ids) args in
+  (* Experiment ids, [micro] and [obs] compose; naming any of them skips the
+     unnamed sections. *)
+  let run_all = only = [] && (not micro) && not obs in
   print_endline
     "On Programming with View Synchrony (ICDCS 1996) — experiment \
      reproduction\n";
-  (* Experiment ids and [micro] compose; bare [micro] skips the tables. *)
-  if only <> [] || not micro then run_experiments ~quick ~only;
+  if only <> [] || run_all then run_experiments ~quick ~only;
   (* CI explores a small seed budget on every quick run. *)
   if quick && only = [] then run_explorer_smoke ();
-  if micro || only = [] then run_micro ()
+  if obs || run_all then run_obs ();
+  if micro || run_all then run_micro ()

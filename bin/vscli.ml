@@ -9,6 +9,10 @@
 
 module Sim = Vs_sim.Sim
 module Trace = Vs_sim.Trace
+module Recorder = Vs_obs.Recorder
+module Event = Vs_obs.Event
+module Export = Vs_obs.Export
+module Metrics = Vs_obs.Metrics
 module Faults = Vs_harness.Faults
 module Oracle = Vs_harness.Oracle
 module Vc = Vs_harness.Vsync_cluster
@@ -18,6 +22,20 @@ module Explorer = Vs_check.Explorer
 module Shrink = Vs_check.Shrink
 module Repro = Vs_check.Repro
 open Cmdliner
+
+(* Shared event-tail printer: a failing run's last events, rendered like the
+   classic trace, indented under the failure report. *)
+let print_event_tail ?(limit = 30) ~indent recorder =
+  let entries = Recorder.tail ~limit recorder in
+  if entries <> [] then begin
+    Printf.printf "%slast %d event(s):\n" indent (List.length entries);
+    List.iter
+      (fun (e : Recorder.entry) ->
+        Printf.printf "%s  [%10.4f] %-8s %s\n" indent e.Recorder.time
+          (Event.component e.Recorder.event)
+          (Event.render e.Recorder.event))
+      entries
+  end
 
 (* ---------- experiment ---------- *)
 
@@ -92,9 +110,10 @@ let campaign_cmd =
         ~mean_gap:0.5 ()
     in
     let rng = Vs_util.Rng.create (Int64.add seed64 999L) in
+    let obs = Recorder.create () in
     let errors, summary =
       if evs then begin
-        let c = Ec.create ~seed:seed64 ~n:nodes () in
+        let c = Ec.create ~seed:seed64 ~obs ~n:nodes () in
         Ec.run_script c (script rng);
         Ec.pump_traffic c ~start:0.5 ~until:(duration +. 0.5) ~mean_gap:0.03;
         Ec.run c ~until:(duration +. 4.0);
@@ -108,7 +127,7 @@ let campaign_cmd =
             (Ec.eview_changes_total c) )
       end
       else begin
-        let c = Vc.create ~seed:seed64 ~n:nodes () in
+        let c = Vc.create ~seed:seed64 ~obs ~n:nodes () in
         Vc.run_script c (script rng);
         Vc.pump_traffic c ~start:0.5 ~until:(duration +. 0.5) ~mean_gap:0.03;
         Vc.run c ~until:(duration +. 4.0);
@@ -129,6 +148,7 @@ let campaign_cmd =
     else begin
       Printf.printf "VIOLATIONS (%d):\n" (List.length errors);
       List.iter (fun e -> print_endline ("  " ^ e)) errors;
+      print_event_tail ~indent:"  " obs;
       exit 1
     end
   in
@@ -186,19 +206,28 @@ let check_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-campaign progress.")
   in
-  let replay_file file =
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the derived metrics summary (counters, histograms).")
+  in
+  let replay_file ~metrics file =
     match Repro.load file with
     | Error msg ->
         Printf.eprintf "cannot load %s: %s\n" file msg;
         exit 2
     | Ok spec ->
         Printf.printf "replay %s\n  %s\n" file (Campaign.describe spec);
-        let outcome = Campaign.run spec in
+        let obs = Recorder.create ~level:Recorder.Protocol () in
+        let outcome = Campaign.run ~obs spec in
         Printf.printf
           "  deliveries=%d installs=%d distinct-views=%d events=%d stable=%b\n"
           outcome.Campaign.deliveries outcome.Campaign.installs
           outcome.Campaign.distinct_views outcome.Campaign.events
           outcome.Campaign.stable;
+        if metrics then
+          print_string (Metrics.to_text (Metrics.of_entries (Recorder.entries obs)));
         if outcome.Campaign.violations = [] then
           print_endline "  properties: all hold"
         else begin
@@ -207,10 +236,11 @@ let check_cmd =
           List.iter
             (fun e -> print_endline ("    " ^ e))
             outcome.Campaign.violations;
+          print_event_tail ~indent:"  " obs;
           exit 1
         end
   in
-  let sweep seeds start_seed nodes quick no_shrink corpus verbose =
+  let sweep seeds start_seed nodes quick no_shrink corpus verbose metrics =
     let progress =
       if verbose then
         Some
@@ -233,8 +263,22 @@ let check_cmd =
       report.Explorer.seeds report.Explorer.campaigns
       report.Explorer.total_events report.Explorer.total_deliveries
       report.Explorer.total_installs;
-    if report.Explorer.failures = [] then
-      print_endline "no violations found"
+    if report.Explorer.failures = [] then begin
+      print_endline "no violations found";
+      if metrics then begin
+        (* Representative metrics: re-run the first seed's VS campaign with
+           recording on. *)
+        let spec =
+          Campaign.generate ~protocol:Vs_harness.Driver.Vsync ~seed:start_seed
+            ~nodes ~quick ()
+        in
+        let obs = Recorder.create ~level:Recorder.Protocol () in
+        ignore (Campaign.run ~obs spec);
+        Printf.printf "metrics for seed %d (VS):\n" start_seed;
+        print_string
+          (Metrics.to_text (Metrics.of_entries (Recorder.entries obs)))
+      end
+    end
     else begin
       List.iter
         (fun (f : Explorer.failure) ->
@@ -249,16 +293,24 @@ let check_cmd =
               f.Explorer.f_shrink_stats.Shrink.attempts
               (Campaign.describe f.Explorer.f_shrunk);
             let path = Repro.save ~dir:corpus f.Explorer.f_shrunk in
-            Printf.printf "  repro written to %s\n" path
+            Printf.printf "  repro written to %s\n" path;
+            (* Replay the shrunk spec with recording on so the failure is
+               self-explaining, not just reproducible. *)
+            let obs = Recorder.create ~level:Recorder.Protocol () in
+            ignore (Campaign.run ~obs f.Explorer.f_shrunk);
+            print_event_tail ~indent:"  " obs;
+            if metrics then
+              print_string
+                (Metrics.to_text (Metrics.of_entries (Recorder.entries obs)))
           end)
         report.Explorer.failures;
       exit 1
     end
   in
-  let run seeds start_seed nodes quick no_shrink corpus replay verbose =
+  let run seeds start_seed nodes quick no_shrink corpus replay verbose metrics =
     match replay with
-    | Some file -> replay_file file
-    | None -> sweep seeds start_seed nodes quick no_shrink corpus verbose
+    | Some file -> replay_file ~metrics file
+    | None -> sweep seeds start_seed nodes quick no_shrink corpus verbose metrics
   in
   Cmd.v
     (Cmd.info "check"
@@ -268,7 +320,7 @@ let check_cmd =
           failure to a minimal repro artifact, or replay one artifact.")
     Term.(
       const run $ seeds $ start_seed $ check_nodes $ quick $ no_shrink $ corpus
-      $ replay $ verbose)
+      $ replay $ verbose $ metrics)
 
 (* ---------- trace ---------- *)
 
@@ -276,39 +328,105 @@ let trace_cmd =
   let components =
     Arg.(
       value
-      & opt (list string) [ "vsync"; "evs"; "faults"; "net" ]
+      & opt (list string) []
       & info [ "components" ] ~docv:"LIST"
-          ~doc:"Trace components to show (vsync, evs, mode, fd, net, faults).")
+          ~doc:
+            "Restrict text output to these components (vsync, evs, mode, fd, \
+             gms, app, net, faults); empty = all.")
   in
   let limit =
     Arg.(
       value & opt int 200
-      & info [ "limit" ] ~docv:"N" ~doc:"Maximum entries printed.")
+      & info [ "limit" ] ~docv:"N" ~doc:"Maximum text entries printed.")
   in
-  let run seed nodes duration components limit =
-    let seed64 = Int64.of_int seed in
-    let c = Ec.create ~seed:seed64 ~n:nodes () in
-    let rng = Vs_util.Rng.create (Int64.add seed64 999L) in
-    Ec.run_script c
-      (Faults.random_script rng
-         ~nodes:(List.init nodes (fun i -> i))
-         ~start:1.0 ~duration ~mean_gap:0.5 ());
-    Ec.run c ~until:(duration +. 3.0);
-    let entries =
-      List.filter
-        (fun e -> List.mem e.Trace.component components)
-        (Trace.entries (Sim.trace (Ec.sim c)))
+  let format =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("text", `Text); ("jsonl", `Jsonl); ("chrome", `Chrome);
+               ("summary", `Summary);
+             ])
+          `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,text) (classic annotated trace), $(b,jsonl) \
+             (one JSON event per line), $(b,chrome) (trace_event JSON for \
+             Perfetto / chrome://tracing), $(b,summary) (derived metrics \
+             tables).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Trace a corpus repro artifact instead of a generated seed \
+             campaign.")
+  in
+  let evs =
+    Arg.(
+      value & flag
+      & info [ "evs" ]
+          ~doc:"Generate an EVS campaign from the seed (default plain VS).")
+  in
+  let run seed nodes format replay components limit evs =
+    let spec =
+      match replay with
+      | Some file -> (
+          match Repro.load file with
+          | Error msg ->
+              Printf.eprintf "cannot load %s: %s\n" file msg;
+              exit 2
+          | Ok spec -> spec)
+      | None ->
+          let protocol =
+            if evs then Vs_harness.Driver.Evs else Vs_harness.Driver.Vsync
+          in
+          Campaign.generate ~protocol ~seed ~nodes ~quick:false ()
     in
-    List.iteri
-      (fun i e ->
-        if i < limit then Format.printf "%a@." Trace.pp_entry e)
-      entries;
-    if List.length entries > limit then
-      Printf.printf "... (%d more entries)\n" (List.length entries - limit)
+    (* Full level: the exporters want the per-message traffic too. *)
+    let obs = Recorder.create ~level:Recorder.Full () in
+    let outcome = Campaign.run ~obs spec in
+    let entries = Recorder.entries obs in
+    (match format with
+    | `Jsonl -> print_string (Export.jsonl_of_entries entries)
+    | `Chrome -> print_endline (Export.chrome_of_entries entries)
+    | `Summary ->
+        Printf.printf "%s\n" (Campaign.describe spec);
+        Printf.printf
+          "deliveries=%d installs=%d distinct-views=%d events=%d stable=%b\n\n"
+          outcome.Campaign.deliveries outcome.Campaign.installs
+          outcome.Campaign.distinct_views outcome.Campaign.events
+          outcome.Campaign.stable;
+        print_string (Metrics.to_text (Metrics.of_entries entries))
+    | `Text ->
+        let wanted (e : Recorder.entry) =
+          match components with
+          | [] -> true
+          | cs -> List.mem (Event.component e.Recorder.event) cs
+        in
+        let shown = List.filter wanted entries in
+        List.iteri
+          (fun i (e : Recorder.entry) ->
+            if i < limit then
+              Printf.printf "[%10.4f] %-8s %s\n" e.Recorder.time
+                (Event.component e.Recorder.event)
+                (Event.render e.Recorder.event))
+          shown;
+        if List.length shown > limit then
+          Printf.printf "... (%d more entries)\n" (List.length shown - limit))
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Run an EVS campaign and dump the event trace.")
-    Term.(const run $ seed_arg $ nodes_arg $ duration_arg $ components $ limit)
+    (Cmd.info "trace"
+       ~doc:
+         "Replay a seed campaign or corpus repro with full event recording \
+          and export the typed event stream (text, JSONL, Chrome trace_event \
+          for Perfetto, or a metrics summary).")
+    Term.(
+      const run $ seed_arg $ nodes_arg $ format $ replay $ components $ limit
+      $ evs)
 
 (* ---------- lint ---------- *)
 

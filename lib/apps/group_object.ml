@@ -80,12 +80,14 @@ let record_mode_step t (step : Mode.Machine.step) =
       History.record t.history ~time:(Sim.now t.sim)
         (History.Mode_event
            { mode = step.Mode.Machine.into_mode; cause = step.Mode.Machine.cause });
-      Sim.record t.sim ~component:"mode"
-        (Printf.sprintf "%s %s: %s -> %s"
-           (Proc_id.to_string (me t))
-           (Mode.transition_to_string cause)
-           (Mode.to_string step.Mode.Machine.from_mode)
-           (Mode.to_string step.Mode.Machine.into_mode));
+      Sim.emit t.sim
+        (Vs_obs.Event.Mode_change
+           {
+             proc = Proc_id.to_obs (me t);
+             from_mode = Mode.to_string step.Mode.Machine.from_mode;
+             into_mode = Mode.to_string step.Mode.Machine.into_mode;
+             cause = Mode.transition_to_string cause;
+           });
       t.observer (Obs_mode step);
       t.callbacks.on_mode step
   | None -> ()
@@ -127,9 +129,22 @@ let handle_eview t (ev : 'ann Evs.eview_event) =
       record_mode_step t step;
       if Mode.equal (Mode.Machine.mode t.machine) Mode.Settling then begin
         let problem = classify_of_event t ev in
-        Sim.record t.sim ~component:"mode"
-          (Printf.sprintf "%s settling: %s" (Proc_id.to_string (me t))
-             (Classify.problem_to_string problem));
+        let creation =
+          match problem.Classify.creation with
+          | Classify.No_creation -> "none"
+          | Classify.Rebirth -> "rebirth"
+          | Classify.In_progress -> "in-progress"
+        in
+        Sim.emit t.sim
+          (Vs_obs.Event.Settle
+             {
+               proc = Proc_id.to_obs (me t);
+               vid = View.Id.to_obs ev.Evs.eview.E_view.view.View.id;
+               transfer = problem.Classify.transfer;
+               creation;
+               merging = problem.Classify.merging;
+               clusters = problem.Classify.clusters;
+             });
         t.observer (Obs_settle { problem; eview = ev.Evs.eview });
         t.callbacks.on_settle problem ev
       end

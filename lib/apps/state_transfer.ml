@@ -45,6 +45,7 @@ type t = {
   mutable total_chunks : int;        (* 0 = bulk complete or not chunked *)
   mutable full : bool;
   mutable settle : settle_state option;
+  mutable task : string option;       (* open observability task, if any *)
   mutable reconciled_at : float option;
   mutable full_state_at : float option;
   mutable stream_timer : Sim.handle option;
@@ -102,6 +103,17 @@ let stream_bulk t ~vid ~chunk_bytes =
 
 let complete t =
   t.settle <- None;
+  (match t.task with
+  | Some task ->
+      t.task <- None;
+      Sim.emit t.sim
+        (Vs_obs.Event.Task_done
+           {
+             proc = Proc_id.to_obs (me t);
+             task;
+             vid = View.Id.to_obs (current_vid t);
+           })
+  | None -> ());
   Group_object.complete_settling (get_obj t);
   t.reconciled_at <- Some (Sim.now t.sim);
   refresh_annotation t
@@ -165,12 +177,24 @@ let maybe_act t =
         | _ -> () (* laggard: wait for the donor's transfer *)
       end
 
-let handle_settle t _problem _ev =
+let handle_settle t (problem : Evs_core.Classify.problem) _ev =
   let o = get_obj t in
   Group_object.begin_joint_settling o;
   stop_stream t;
   let vid = current_vid t in
   t.settle <- Some { ss_vid = vid; ss_present = Hashtbl.create 8 };
+  (* One observability task per settling episode, named after the dominant
+     Section 4 problem. *)
+  let task =
+    match problem.Evs_core.Classify.creation with
+    | Evs_core.Classify.Rebirth | Evs_core.Classify.In_progress -> "creation"
+    | Evs_core.Classify.No_creation ->
+        if problem.Evs_core.Classify.merging then "merge" else "transfer"
+  in
+  t.task <- Some task;
+  Sim.emit t.sim
+    (Vs_obs.Event.Task_start
+       { proc = Proc_id.to_obs (me t); task; vid = View.Id.to_obs vid });
   Group_object.multicast o (Present { vid; full = t.full })
 
 let handle_message t ~sender payload =
@@ -218,6 +242,7 @@ let create sim net ~me:me_ ~universe ?observer ?(bootstrap = true) ~config
       total_chunks = 0;
       full = false;
       settle = None;
+      task = None;
       reconciled_at = None;
       full_state_at = None;
       stream_timer = None;

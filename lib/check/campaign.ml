@@ -102,7 +102,7 @@ type outcome = Driver.outcome = {
   stable : bool;
 }
 
-let run spec =
+let run ?obs spec =
   let net_config =
     {
       Net.default_config with
@@ -127,6 +127,6 @@ let run spec =
       tr_gap = spec.traffic_gap;
     }
   in
-  Driver.run_schedule ~traffic setup ~script:spec.script ~until:spec.horizon
+  Driver.run_schedule ~traffic ?obs setup ~script:spec.script ~until:spec.horizon
 
 let fails spec = (run spec).violations <> []

@@ -60,8 +60,10 @@ type outcome = Driver.outcome = {
   stable : bool;
 }
 
-val run : spec -> outcome
-(** Deterministic: running the same spec twice yields identical outcomes. *)
+val run : ?obs:Vs_obs.Recorder.t -> spec -> outcome
+(** Deterministic: running the same spec twice yields identical outcomes.
+    [?obs] receives the run's event stream (pass a [Full]-level recorder to
+    capture per-message traffic too). *)
 
 val fails : spec -> bool
 (** [run spec] produced at least one violation — the shrinker's default

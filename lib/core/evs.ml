@@ -37,7 +37,9 @@ let make_net ?(payload_size = fun _ -> 8) ?(ann_size = fun _ -> 8) sim config =
     + (12 * List.length (E_view.members a.ea_snapshot))
     + match a.ea_app with Some x -> ann_size x | None -> 0
   in
-  Net.create ~size_of:(Wire.size_of ~user:wire_size ~ann:evs_ann_size) sim config
+  Net.create
+    ~size_of:(Wire.size_of ~user:wire_size ~ann:evs_ann_size)
+    ~describe:Wire.kind sim config
 
 type cause =
   | View_change
@@ -93,11 +95,22 @@ let refresh_annotation t =
   Endpoint.set_annotation (get_ep t)
     (Some { ea_snapshot = t.eview; ea_app = t.app_ann })
 
-let log_eview t =
-  Sim.record t.sim ~component:"evs"
-    (Printf.sprintf "%s eview %s"
-       (Proc_id.to_string (me t))
-       (E_view.to_string t.eview))
+let log_eview t ~cause =
+  Sim.emit t.sim
+    (Vs_obs.Event.Eview
+       {
+         proc = Proc_id.to_obs (me t);
+         vid = View.Id.to_obs t.eview.E_view.view.View.id;
+         eseq = t.eview.E_view.eseq;
+         cause;
+         subviews = List.length t.eview.E_view.structure.E_view.subviews;
+         svsets = List.length t.eview.E_view.structure.E_view.svsets;
+       })
+
+let cause_label = function
+  | View_change -> "view"
+  | Svset_merged id -> "svset-merge " ^ E_view.Svset_id.to_string id
+  | Subview_merged id -> "subview-merge " ^ E_view.Subview_id.to_string id
 
 let handle_view t (ev : 'ann evs_ann Endpoint.view_event) =
   let raw =
@@ -112,7 +125,7 @@ let handle_view t (ev : 'ann evs_ann Endpoint.view_event) =
   in
   t.eview <- E_view.rebuild_from_snapshots ev.Endpoint.view raw;
   refresh_annotation t;
-  log_eview t;
+  log_eview t ~cause:(cause_label View_change);
   let annotations =
     List.map
       (fun (p, ann) ->
@@ -139,7 +152,7 @@ let handle_ctl t ctl =
       t.eview <- eview;
       t.s_echanges <- t.s_echanges + 1;
       refresh_annotation t;
-      log_eview t;
+      log_eview t ~cause:(cause_label cause);
       t.callbacks.on_eview { eview; cause; annotations = []; priors = [] }
   | Error `No_effect -> t.s_rejected <- t.s_rejected + 1
 

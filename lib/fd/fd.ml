@@ -31,10 +31,22 @@ let refresh t =
   if not t.stopped then begin
     let next = compute_reachable t in
     if not (List.equal Proc_id.equal next t.current) then begin
+      let prev = t.current in
       t.current <- next;
-      Sim.record t.sim ~component:"fd"
-        (Printf.sprintf "%s reachable {%s}" (Proc_id.to_string t.me)
-           (String.concat "," (List.map Proc_id.to_string next)));
+      if Sim.obs_on t.sim then begin
+        let me = Proc_id.to_obs t.me in
+        List.iter
+          (fun p ->
+            Sim.emit t.sim
+              (Vs_obs.Event.Suspect { proc = me; peer = Proc_id.to_obs p }))
+          (Vs_util.Listx.diff ~cmp:Proc_id.compare prev next);
+        List.iter
+          (fun p ->
+            if not (Proc_id.equal p t.me) then
+              Sim.emit t.sim
+                (Vs_obs.Event.Unsuspect { proc = me; peer = Proc_id.to_obs p }))
+          (Vs_util.Listx.diff ~cmp:Proc_id.compare next prev)
+      end;
       t.on_change next
     end
   end

@@ -10,6 +10,9 @@ module Id = struct
     { epoch; proposer }
 
   let to_string t = Printf.sprintf "v%d@%s" t.epoch (Proc_id.to_string t.proposer)
+
+  let to_obs t =
+    { Vs_obs.Event.epoch = t.epoch; proposer = Proc_id.to_obs t.proposer }
 end
 
 type t = { id : Id.t; members : Proc_id.t list } [@@deriving eq, show]

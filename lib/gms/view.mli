@@ -15,6 +15,9 @@ module Id : sig
   val make : epoch:int -> proposer:Vs_net.Proc_id.t -> t
 
   val to_string : t -> string
+
+  val to_obs : t -> Vs_obs.Event.vid
+  (** Mirror into the observability schema. *)
 end
 
 type t = { id : Id.t; members : Vs_net.Proc_id.t list } [@@deriving eq, show]

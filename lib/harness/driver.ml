@@ -84,7 +84,7 @@ let evs_structural_violations ~n c =
       structural @ classify)
     (Evs_cluster.eview_records c)
 
-let run_schedule ?traffic setup ~script ~until =
+let run_schedule ?traffic ?obs setup ~script ~until =
   let pump pump_traffic c =
     match traffic with
     | Some tr when tr.tr_gap > 0. ->
@@ -94,7 +94,7 @@ let run_schedule ?traffic setup ~script ~until =
   match setup.protocol with
   | Vsync ->
       let c =
-        Vsync_cluster.create ~seed:setup.seed ~net_config:setup.net_config
+        Vsync_cluster.create ~seed:setup.seed ?obs ~net_config:setup.net_config
           ~n:setup.n ()
       in
       Vsync_cluster.run_script c script;
@@ -112,7 +112,7 @@ let run_schedule ?traffic setup ~script ~until =
       }
   | Evs ->
       let c =
-        Evs_cluster.create ~seed:setup.seed ~net_config:setup.net_config
+        Evs_cluster.create ~seed:setup.seed ?obs ~net_config:setup.net_config
           ~n:setup.n ()
       in
       Evs_cluster.run_script c script;

@@ -47,6 +47,12 @@ type outcome = {
 }
 
 val run_schedule :
-  ?traffic:traffic -> setup -> script:Faults.script -> until:float -> outcome
+  ?traffic:traffic ->
+  ?obs:Vs_obs.Recorder.t ->
+  setup ->
+  script:Faults.script ->
+  until:float ->
+  outcome
 (** Deterministic: the same setup, traffic, script and horizon produce the
-    same outcome, bit for bit. *)
+    same outcome, bit for bit.  [?obs] receives the run's event stream
+    (pass a [Full]-level recorder to capture per-message traffic). *)

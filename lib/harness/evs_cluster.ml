@@ -88,9 +88,9 @@ let boot t node =
   handle := Some e;
   st.evs <- Some e
 
-let create ?(seed = 1L) ?(net_config = Net.default_config)
+let create ?(seed = 1L) ?obs ?(net_config = Net.default_config)
     ?(config = Endpoint.default_config) ~n () =
-  let sim = Sim.create ~seed () in
+  let sim = Sim.create ~seed ?obs () in
   let net : (Oracle.msg_id, unit) Evs.net = Evs.make_net sim net_config in
   let universe = List.init n (fun i -> i) in
   let t =

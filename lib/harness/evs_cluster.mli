@@ -21,6 +21,7 @@ type t
 
 val create :
   ?seed:int64 ->
+  ?obs:Vs_obs.Recorder.t ->
   ?net_config:Vs_net.Net.config ->
   ?config:Endpoint.config ->
   n:int ->

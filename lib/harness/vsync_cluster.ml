@@ -64,15 +64,15 @@ let boot t node =
   endpoint := Some ep;
   st.endpoint <- Some ep
 
-let create ?(seed = 1L) ?(net_config = Net.default_config)
+let create ?(seed = 1L) ?obs ?(net_config = Net.default_config)
     ?(config = Endpoint.default_config) ~n () =
-  let sim = Sim.create ~seed () in
+  let sim = Sim.create ~seed ?obs () in
   (* Byte accounting matches the EVS cluster's (8-byte payloads and
      annotations), so E9's overhead comparison is apples to apples. *)
   let size_of =
     Vs_vsync.Wire.size_of ~user:(fun (_ : Oracle.msg_id) -> 8) ~ann:(fun () -> 8)
   in
-  let net = Net.create ~size_of sim net_config in
+  let net = Net.create ~size_of ~describe:Vs_vsync.Wire.kind sim net_config in
   let universe = List.init n (fun i -> i) in
   let t =
     {

@@ -1,5 +1,6 @@
 module Sim = Vs_sim.Sim
 module Rng = Vs_util.Rng
+module Event = Vs_obs.Event
 
 type 'm envelope = {
   src : Proc_id.t;
@@ -38,6 +39,7 @@ type 'm t = {
   rng : Rng.t;
   config : config;
   size_of : 'm -> int;
+  describe : 'm -> string;
   handlers : (Proc_id.t, 'm envelope -> unit) Hashtbl.t;
   node_live : (int, Proc_id.t) Hashtbl.t; (* node -> live incarnation *)
   node_next_inc : (int, int) Hashtbl.t;   (* node -> next unused incarnation *)
@@ -49,7 +51,7 @@ type 'm t = {
   mutable bytes_sent : int;
 }
 
-let create ?(size_of = fun _ -> 1) sim config =
+let create ?(size_of = fun _ -> 1) ?(describe = fun _ -> "msg") sim config =
   if config.delay_min < 0. || config.delay_max < config.delay_min then
     invalid_arg "Net.create: bad delay bounds";
   {
@@ -57,6 +59,7 @@ let create ?(size_of = fun _ -> 1) sim config =
     rng = Sim.fork_rng sim;
     config;
     size_of;
+    describe;
     handlers = Hashtbl.create 64;
     node_live = Hashtbl.create 64;
     node_next_inc = Hashtbl.create 64;
@@ -98,7 +101,7 @@ let crash t p =
     (match live_on_node t p.Proc_id.node with
     | Some q when Proc_id.equal q p -> Hashtbl.remove t.node_live p.Proc_id.node
     | Some _ | None -> ());
-    Sim.record t.sim ~component:"net" ("crash " ^ Proc_id.to_string p)
+    Sim.emit t.sim (Event.Crash { proc = Proc_id.to_obs p })
   end
 
 let set_partition t components =
@@ -112,22 +115,32 @@ let set_partition t components =
       match Hashtbl.find_opt table node with
       | Some c -> c
       | None -> -(node + 1));
-  Sim.record t.sim ~component:"net"
-    (Printf.sprintf "partition [%s]"
-       (String.concat " | "
-          (List.map
-             (fun nodes -> String.concat "," (List.map string_of_int nodes))
-             components)))
+  Sim.emit t.sim (Event.Partition { components })
 
 let heal t =
   t.component <- (fun _ -> 0);
-  Sim.record t.sim ~component:"net" "heal"
+  Sim.emit t.sim Event.Heal
 
 let connected t a b = a = b || t.component a = t.component b
 
 let sample_delay t ~bytes =
   Rng.uniform t.rng t.config.delay_min t.config.delay_max
   +. (t.config.byte_delay *. float_of_int bytes)
+
+(* Per-message events are Full-level only, and every emission site guards on
+   [Sim.obs_full] *before* constructing the event, so runs at Protocol/Off
+   level allocate nothing extra on the send path (the bench harness asserts
+   this). *)
+let emit_drop t ~src ~dst ~payload ~reason =
+  if Sim.obs_full t.sim then
+    Sim.emit t.sim
+      (Event.Drop
+         {
+           src = Proc_id.to_obs src;
+           dst = Proc_id.to_obs dst;
+           kind = t.describe payload;
+           reason;
+         })
 
 (* Delivery is re-checked at arrival time: the destination incarnation must
    still be live and the nodes still connected, so a partition installed
@@ -139,12 +152,35 @@ let deliver_later ?(extra_copy = false) t env =
     match Hashtbl.find_opt t.handlers env.dst with
     | Some handler when connected t env.src.Proc_id.node env.dst.Proc_id.node ->
         t.delivered <- t.delivered + 1;
+        if Sim.obs_full t.sim then
+          Sim.emit t.sim
+            (Event.Recv
+               {
+                 src = Proc_id.to_obs env.src;
+                 dst = Proc_id.to_obs env.dst;
+                 kind = t.describe env.payload;
+               });
         handler env
-    | Some _ | None -> t.dropped <- t.dropped + 1
+    | Some _ ->
+        t.dropped <- t.dropped + 1;
+        emit_drop t ~src:env.src ~dst:env.dst ~payload:env.payload
+          ~reason:"partition"
+    | None ->
+        t.dropped <- t.dropped + 1;
+        emit_drop t ~src:env.src ~dst:env.dst ~payload:env.payload
+          ~reason:"dst-dead"
   in
   ignore (Sim.after t.sim (sample_delay t ~bytes) deliver);
   if extra_copy then begin
     t.duplicated <- t.duplicated + 1;
+    if Sim.obs_full t.sim then
+      Sim.emit t.sim
+        (Event.Dup
+           {
+             src = Proc_id.to_obs env.src;
+             dst = Proc_id.to_obs env.dst;
+             kind = t.describe env.payload;
+           });
     ignore (Sim.after t.sim (sample_delay t ~bytes) deliver)
   end
 
@@ -152,15 +188,33 @@ let send_to t ~src ~dst payload =
   t.sent <- t.sent + 1;
   t.bytes_sent <- t.bytes_sent + t.size_of payload;
   let self = Proc_id.equal src dst in
-  if not (is_live t src) then t.dropped <- t.dropped + 1
-  else if (not self) && not (connected t src.Proc_id.node dst.Proc_id.node) then
-    t.dropped <- t.dropped + 1
-  else if (not self) && Rng.bool t.rng t.config.drop_prob then
-    t.dropped <- t.dropped + 1
-  else
+  if not (is_live t src) then begin
+    t.dropped <- t.dropped + 1;
+    emit_drop t ~src ~dst ~payload ~reason:"src-dead"
+  end
+  else if (not self) && not (connected t src.Proc_id.node dst.Proc_id.node)
+  then begin
+    t.dropped <- t.dropped + 1;
+    emit_drop t ~src ~dst ~payload ~reason:"partition"
+  end
+  else if (not self) && Rng.bool t.rng t.config.drop_prob then begin
+    t.dropped <- t.dropped + 1;
+    emit_drop t ~src ~dst ~payload ~reason:"loss"
+  end
+  else begin
+    if Sim.obs_full t.sim then
+      Sim.emit t.sim
+        (Event.Send
+           {
+             src = Proc_id.to_obs src;
+             dst = Proc_id.to_obs dst;
+             kind = t.describe payload;
+             bytes = t.size_of payload;
+           });
     let env = { src; dst; sent_at = Sim.now t.sim; payload } in
     let extra_copy = (not self) && Rng.bool t.rng t.config.dup_prob in
     deliver_later ~extra_copy t env
+  end
 
 let send t ~src ~dst payload = send_to t ~src ~dst payload
 
@@ -171,29 +225,83 @@ let send_node t ~src ~dst_node payload =
      appears before arrival: resolve at delivery. *)
   t.sent <- t.sent + 1;
   t.bytes_sent <- t.bytes_sent + t.size_of payload;
-  if not (is_live t src) then t.dropped <- t.dropped + 1
+  (* Node-addressed drops render with the n<dst_node> pseudo-destination. *)
+  let node_dst () = { Event.node = dst_node; inc = -1 } in
+  let emit_node_drop reason =
+    if Sim.obs_full t.sim then
+      Sim.emit t.sim
+        (Event.Drop
+           {
+             src = Proc_id.to_obs src;
+             dst = node_dst ();
+             kind = t.describe payload;
+             reason;
+           })
+  in
+  if not (is_live t src) then begin
+    t.dropped <- t.dropped + 1;
+    emit_node_drop "src-dead"
+  end
   else if
     src.Proc_id.node <> dst_node && not (connected t src.Proc_id.node dst_node)
-  then t.dropped <- t.dropped + 1
-  else if src.Proc_id.node <> dst_node && Rng.bool t.rng t.config.drop_prob then
-    t.dropped <- t.dropped + 1
+  then begin
+    t.dropped <- t.dropped + 1;
+    emit_node_drop "partition"
+  end
+  else if src.Proc_id.node <> dst_node && Rng.bool t.rng t.config.drop_prob
+  then begin
+    t.dropped <- t.dropped + 1;
+    emit_node_drop "loss"
+  end
   else begin
     let sent_at = Sim.now t.sim in
     let bytes = t.size_of payload in
+    if Sim.obs_full t.sim then
+      Sim.emit t.sim
+        (Event.Send
+           {
+             src = Proc_id.to_obs src;
+             dst = node_dst ();
+             kind = t.describe payload;
+             bytes;
+           });
     let deliver () =
       match live_on_node t dst_node with
       | Some dst when connected t src.Proc_id.node dst_node -> (
           match Hashtbl.find_opt t.handlers dst with
           | Some handler ->
               t.delivered <- t.delivered + 1;
+              if Sim.obs_full t.sim then
+                Sim.emit t.sim
+                  (Event.Recv
+                     {
+                       src = Proc_id.to_obs src;
+                       dst = Proc_id.to_obs dst;
+                       kind = t.describe payload;
+                     });
               handler { src; dst; sent_at; payload }
-          | None -> t.dropped <- t.dropped + 1)
-      | Some _ | None -> t.dropped <- t.dropped + 1
+          | None ->
+              t.dropped <- t.dropped + 1;
+              emit_node_drop "dst-dead")
+      | Some _ ->
+          t.dropped <- t.dropped + 1;
+          emit_node_drop "partition"
+      | None ->
+          t.dropped <- t.dropped + 1;
+          emit_node_drop "dst-dead"
     in
     ignore (Sim.after t.sim (sample_delay t ~bytes) deliver);
     (* Same duplication model as [send_to]: self-sends exempt. *)
     if src.Proc_id.node <> dst_node && Rng.bool t.rng t.config.dup_prob then begin
       t.duplicated <- t.duplicated + 1;
+      if Sim.obs_full t.sim then
+        Sim.emit t.sim
+          (Event.Dup
+             {
+               src = Proc_id.to_obs src;
+               dst = node_dst ();
+               kind = t.describe payload;
+             });
       ignore (Sim.after t.sim (sample_delay t ~bytes) deliver)
     end
   end

@@ -33,7 +33,15 @@ type config = {
 val default_config : config
 (** 1–10 ms delay, no loss, no duplication, infinite bandwidth. *)
 
-val create : ?size_of:('m -> int) -> Vs_sim.Sim.t -> config -> 'm t
+val create :
+  ?size_of:('m -> int) ->
+  ?describe:('m -> string) ->
+  Vs_sim.Sim.t ->
+  config ->
+  'm t
+(** [?describe] names a payload's message kind for Full-level observability
+    events (default ["msg"]); it is never called unless the run records at
+    [Full] level. *)
 (** [size_of] gives a nominal byte size per payload for traffic accounting
     (defaults to 1 per message). *)
 

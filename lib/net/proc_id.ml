@@ -15,6 +15,8 @@ let to_string t =
   if t.inc = 0 then Printf.sprintf "p%d" t.node
   else Printf.sprintf "p%d.%d" t.node t.inc
 
+let to_obs t = { Vs_obs.Event.node = t.node; inc = t.inc }
+
 let sort ids = Vs_util.Listx.sorted_set ~cmp:compare ids
 
 let min_member = function

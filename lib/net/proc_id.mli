@@ -15,6 +15,10 @@ val initial : int -> t
 val to_string : t -> string
 (** Compact rendering, e.g. "p3.0" for node 3, incarnation 0. *)
 
+val to_obs : t -> Vs_obs.Event.proc
+(** Mirror into the observability schema (which sits below this library in
+    the dependency order). *)
+
 val sort : t list -> t list
 (** Sorted duplicate-free list — the canonical representation of a
     membership. *)

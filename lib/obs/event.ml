@@ -1,0 +1,191 @@
+(* The typed event schema.  Sits below lib/sim in the dependency order, so
+   processes and view identifiers are mirrored as plain records here; the
+   protocol layers convert with Proc_id.to_obs / View.Id.to_obs at the
+   emission site. *)
+
+type proc = { node : int; inc : int }
+
+type vid = { epoch : int; proposer : proc }
+
+let proc_to_string p =
+  if p.inc < 0 then Printf.sprintf "n%d" p.node
+  else if p.inc = 0 then Printf.sprintf "p%d" p.node
+  else Printf.sprintf "p%d.%d" p.node p.inc
+
+let proc_of_string s =
+  let len = String.length s in
+  if len < 2 then None
+  else
+    let rest = String.sub s 1 (len - 1) in
+    match s.[0] with
+    | 'n' ->
+        Option.map (fun node -> { node; inc = -1 }) (int_of_string_opt rest)
+    | 'p' -> (
+        match String.index_opt rest '.' with
+        | None -> Option.map (fun node -> { node; inc = 0 }) (int_of_string_opt rest)
+        | Some i -> (
+            let node_s = String.sub rest 0 i in
+            let inc_s = String.sub rest (i + 1) (String.length rest - i - 1) in
+            match (int_of_string_opt node_s, int_of_string_opt inc_s) with
+            | Some node, Some inc when inc >= 0 -> Some { node; inc }
+            | _ -> None))
+    | _ -> None
+
+let vid_to_string v =
+  Printf.sprintf "v%d@%s" v.epoch (proc_to_string v.proposer)
+
+let vid_of_string s =
+  let len = String.length s in
+  if len < 2 || s.[0] <> 'v' then None
+  else
+    match String.index_opt s '@' with
+    | None -> None
+    | Some i -> (
+        let epoch_s = String.sub s 1 (i - 1) in
+        let proc_s = String.sub s (i + 1) (len - i - 1) in
+        match (int_of_string_opt epoch_s, proc_of_string proc_s) with
+        | Some epoch, Some proposer -> Some { epoch; proposer }
+        | _ -> None)
+
+type t =
+  | Send of { src : proc; dst : proc; kind : string; bytes : int }
+  | Recv of { src : proc; dst : proc; kind : string }
+  | Drop of { src : proc; dst : proc; kind : string; reason : string }
+  | Dup of { src : proc; dst : proc; kind : string }
+  | Retransmit of { proc : proc; origin : proc; count : int; peer : bool }
+  | Backoff of { proc : proc; dst : proc; attempt : int; delay : float }
+  | Suspect of { proc : proc; peer : proc }
+  | Unsuspect of { proc : proc; peer : proc }
+  | Propose of { proc : proc; vid : vid; members : proc list }
+  | Flush of { proc : proc; vid : vid; seen : int }
+  | Install of { proc : proc; vid : vid; members : proc list; sync : int }
+  | Eview of {
+      proc : proc;
+      vid : vid;
+      eseq : int;
+      cause : string;
+      subviews : int;
+      svsets : int;
+    }
+  | Mode_change of {
+      proc : proc;
+      from_mode : string;
+      into_mode : string;
+      cause : string;
+    }
+  | Settle of {
+      proc : proc;
+      vid : vid;
+      transfer : bool;
+      creation : string;
+      merging : bool;
+      clusters : int;
+    }
+  | Task_start of { proc : proc; task : string; vid : vid }
+  | Task_done of { proc : proc; task : string; vid : vid }
+  | Crash of { proc : proc }
+  | Partition of { components : int list list }
+  | Heal
+  | Note of { component : string; message : string }
+
+let component = function
+  | Send _ | Recv _ | Drop _ | Dup _ | Crash _ | Partition _ | Heal -> "net"
+  | Retransmit _ | Backoff _ -> "vsync"
+  | Suspect _ | Unsuspect _ -> "fd"
+  | Propose _ | Flush _ | Install _ -> "gms"
+  | Eview _ -> "evs"
+  | Mode_change _ | Settle _ -> "mode"
+  | Task_start _ | Task_done _ -> "app"
+  | Note { component = c; _ } -> c
+
+let type_name = function
+  | Send _ -> "send"
+  | Recv _ -> "recv"
+  | Drop _ -> "drop"
+  | Dup _ -> "dup"
+  | Retransmit _ -> "retransmit"
+  | Backoff _ -> "backoff"
+  | Suspect _ -> "suspect"
+  | Unsuspect _ -> "unsuspect"
+  | Propose _ -> "propose"
+  | Flush _ -> "flush"
+  | Install _ -> "install"
+  | Eview _ -> "eview"
+  | Mode_change _ -> "mode"
+  | Settle _ -> "settle"
+  | Task_start _ -> "task-start"
+  | Task_done _ -> "task-done"
+  | Crash _ -> "crash"
+  | Partition _ -> "partition"
+  | Heal -> "heal"
+  | Note _ -> "note"
+
+let all_type_names =
+  [
+    "send"; "recv"; "drop"; "dup"; "retransmit"; "backoff"; "suspect";
+    "unsuspect"; "propose"; "flush"; "install"; "eview"; "mode"; "settle";
+    "task-start"; "task-done"; "crash"; "partition"; "heal"; "note";
+  ]
+
+let members_to_string ms = String.concat "," (List.map proc_to_string ms)
+
+let render = function
+  | Send { src; dst; kind; bytes } ->
+      Printf.sprintf "send %s -> %s %s (%dB)" (proc_to_string src)
+        (proc_to_string dst) kind bytes
+  | Recv { src; dst; kind } ->
+      Printf.sprintf "recv %s -> %s %s" (proc_to_string src)
+        (proc_to_string dst) kind
+  | Drop { src; dst; kind; reason } ->
+      Printf.sprintf "drop %s -> %s %s (%s)" (proc_to_string src)
+        (proc_to_string dst) kind reason
+  | Dup { src; dst; kind } ->
+      Printf.sprintf "dup %s -> %s %s" (proc_to_string src)
+        (proc_to_string dst) kind
+  | Retransmit { proc; origin; count; peer } ->
+      Printf.sprintf "%s retransmit %d of %s's stream%s" (proc_to_string proc)
+        count (proc_to_string origin)
+        (if peer then " (peer-served)" else "")
+  | Backoff { proc; dst; attempt; delay } ->
+      Printf.sprintf "%s retry -> %s attempt %d after %.4f"
+        (proc_to_string proc) (proc_to_string dst) attempt delay
+  | Suspect { proc; peer } ->
+      Printf.sprintf "%s suspects %s" (proc_to_string proc)
+        (proc_to_string peer)
+  | Unsuspect { proc; peer } ->
+      Printf.sprintf "%s trusts %s" (proc_to_string proc) (proc_to_string peer)
+  | Propose { proc; vid; members } ->
+      Printf.sprintf "%s propose %s {%s}" (proc_to_string proc)
+        (vid_to_string vid) (members_to_string members)
+  | Flush { proc; vid; seen } ->
+      Printf.sprintf "%s flush-ack %s (%d seen)" (proc_to_string proc)
+        (vid_to_string vid) seen
+  | Install { proc; vid; members; sync } ->
+      Printf.sprintf "%s install %s{%s} (+%d sync)" (proc_to_string proc)
+        (vid_to_string vid) (members_to_string members) sync
+  | Eview { proc; vid; eseq; cause; subviews; svsets } ->
+      Printf.sprintf "%s eview %s#%d %s (%d subviews, %d sv-sets)"
+        (proc_to_string proc) (vid_to_string vid) eseq cause subviews svsets
+  | Mode_change { proc; from_mode; into_mode; cause } ->
+      Printf.sprintf "%s %s: %s -> %s" (proc_to_string proc) cause from_mode
+        into_mode
+  | Settle { proc; vid; transfer; creation; merging; clusters } ->
+      Printf.sprintf
+        "%s settling in %s: transfer=%b creation=%s merging=%b clusters=%d"
+        (proc_to_string proc) (vid_to_string vid) transfer creation merging
+        clusters
+  | Task_start { proc; task; vid } ->
+      Printf.sprintf "%s %s start in %s" (proc_to_string proc) task
+        (vid_to_string vid)
+  | Task_done { proc; task; vid } ->
+      Printf.sprintf "%s %s done in %s" (proc_to_string proc) task
+        (vid_to_string vid)
+  | Crash { proc } -> "crash " ^ proc_to_string proc
+  | Partition { components } ->
+      Printf.sprintf "partition [%s]"
+        (String.concat " | "
+           (List.map
+              (fun nodes -> String.concat "," (List.map string_of_int nodes))
+              components))
+  | Heal -> "heal"
+  | Note { message; _ } -> message

@@ -1,0 +1,94 @@
+(** The typed observability event schema.
+
+    This module sits {e below} [lib/sim] in the dependency order, so process
+    and view identifiers are mirrored here as plain records ([proc], [vid]);
+    the protocol layers convert at the emission site via [Proc_id.to_obs] and
+    [View.Id.to_obs].  Every variant carries only immediate data — no
+    closures, no views — so recording stays allocation-light and exporters
+    can serialize without reaching back into protocol state. *)
+
+type proc = { node : int; inc : int }
+(** Mirror of [Proc_id.t].  [inc = -1] encodes a node-addressed destination
+    (a [send_node] target whose live incarnation is resolved at delivery). *)
+
+type vid = { epoch : int; proposer : proc }
+(** Mirror of [View.Id.t]. *)
+
+val proc_to_string : proc -> string
+(** ["p3"], ["p3.1"], or ["n3"] for a node-addressed destination. *)
+
+val proc_of_string : string -> proc option
+
+val vid_to_string : vid -> string
+(** ["v4@p2.1"]. *)
+
+val vid_of_string : string -> vid option
+
+type t =
+  | Send of { src : proc; dst : proc; kind : string; bytes : int }
+  | Recv of { src : proc; dst : proc; kind : string }
+  | Drop of { src : proc; dst : proc; kind : string; reason : string }
+      (** [reason] is one of ["src-dead"], ["dst-dead"], ["partition"],
+          ["loss"]. *)
+  | Dup of { src : proc; dst : proc; kind : string }
+  | Retransmit of { proc : proc; origin : proc; count : int; peer : bool }
+      (** [proc] re-sent [count] messages of [origin]'s stream; [peer] when
+          served by a peer rather than the original sender. *)
+  | Backoff of { proc : proc; dst : proc; attempt : int; delay : float }
+      (** Control-plane retry with exponential backoff. *)
+  | Suspect of { proc : proc; peer : proc }
+  | Unsuspect of { proc : proc; peer : proc }
+  | Propose of { proc : proc; vid : vid; members : proc list }
+  | Flush of { proc : proc; vid : vid; seen : int }
+      (** Flush-ack sent while installing [vid]; [seen] is the size of the
+          stability vector reported. *)
+  | Install of { proc : proc; vid : vid; members : proc list; sync : int }
+      (** View installation; [sync] counts messages delivered during the
+          closing flush (the view-synchrony sync barrier). *)
+  | Eview of {
+      proc : proc;
+      vid : vid;
+      eseq : int;
+      cause : string;
+      subviews : int;
+      svsets : int;
+    }  (** EVS extended-view installation (Section 6). *)
+  | Mode_change of {
+      proc : proc;
+      from_mode : string;
+      into_mode : string;
+      cause : string;
+    }  (** NORMAL/REDUCED/SETTLING transition (Figure 1). *)
+  | Settle of {
+      proc : proc;
+      vid : vid;
+      transfer : bool;
+      creation : string;
+      merging : bool;
+      clusters : int;
+    }
+      (** Section 4 classification at a settling view: state transfer needed,
+          creation kind (["none"], ["rebirth"], ["in-progress"]), merging,
+          and the S_R cluster count. *)
+  | Task_start of { proc : proc; task : string; vid : vid }
+  | Task_done of { proc : proc; task : string; vid : vid }
+      (** State transfer / merge / creation work items. *)
+  | Crash of { proc : proc }
+  | Partition of { components : int list list }
+  | Heal
+  | Note of { component : string; message : string }
+      (** Untyped escape hatch; carries legacy [Trace.record] calls. *)
+
+val component : t -> string
+(** The legacy trace component this event renders under ("net", "vsync",
+    "fd", "gms", "evs", "mode", "app", or the [Note] component). *)
+
+val type_name : t -> string
+(** Stable wire name used by the JSONL schema. *)
+
+val all_type_names : string list
+(** Every value [type_name] can return; the @trace-schema guard checks the
+    committed sample covers all of them. *)
+
+val render : t -> string
+(** Human-readable one-liner (no timestamp/component prefix). *)

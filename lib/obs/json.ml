@@ -1,0 +1,288 @@
+(* A minimal deterministic JSON value type, printer, and parser.  Used by the
+   JSONL / Chrome exporters and the @trace-schema round-trip guard.  Kept
+   dependency-free on purpose: the container has no JSON library baked in. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* Shortest float representation that survives a parse round-trip, so that
+   re-emitting a parsed stream is byte-identical to the original. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    match float_of_string_opt s with
+    | Some f' when Float.equal f' f -> s
+    | Some _ | None -> Printf.sprintf "%.17g" f
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | Str s -> escape_string buf s
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+(* --- parser ------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let fail c msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance c;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let expect c ch =
+  match peek c with
+  | Some x when Char.equal x ch -> advance c
+  | Some _ | None -> fail c (Printf.sprintf "expected '%c'" ch)
+
+let parse_literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.src
+    && String.equal (String.sub c.src c.pos n) word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c (Printf.sprintf "expected '%s'" word)
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | None -> fail c "unterminated escape"
+        | Some esc ->
+            advance c;
+            (match esc with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if c.pos + 4 > String.length c.src then
+                  fail c "truncated \\u escape"
+                else begin
+                  let hex = String.sub c.src c.pos 4 in
+                  match int_of_string_opt ("0x" ^ hex) with
+                  | None -> fail c "bad \\u escape"
+                  | Some code ->
+                      c.pos <- c.pos + 4;
+                      if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                      else if code < 0x800 then begin
+                        Buffer.add_char buf
+                          (Char.chr (0xC0 lor (code lsr 6)));
+                        Buffer.add_char buf
+                          (Char.chr (0x80 lor (code land 0x3F)))
+                      end
+                      else begin
+                        Buffer.add_char buf
+                          (Char.chr (0xE0 lor (code lsr 12)));
+                        Buffer.add_char buf
+                          (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                        Buffer.add_char buf
+                          (Char.chr (0x80 lor (code land 0x3F)))
+                      end
+                end
+            | _ -> fail c "bad escape");
+            go ())
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+        advance c;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  let token = String.sub c.src start (c.pos - start) in
+  let has_float_syntax =
+    String.exists (fun ch -> Char.equal ch '.' || Char.equal ch 'e' || Char.equal ch 'E') token
+  in
+  if has_float_syntax then
+    match float_of_string_opt token with
+    | Some f -> Float f
+    | None -> fail c "bad number"
+  else
+    match int_of_string_opt token with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt token with
+        | Some f -> Float f
+        | None -> fail c "bad number")
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' -> Str (parse_string_body c)
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if (match peek c with Some '}' -> true | Some _ | None -> false) then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws c;
+          let key = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              fields ((key, v) :: acc)
+          | Some '}' ->
+              advance c;
+              List.rev ((key, v) :: acc)
+          | Some _ | None -> fail c "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if (match peek c with Some ']' -> true | Some _ | None -> false) then begin
+        advance c;
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              items (v :: acc)
+          | Some ']' ->
+              advance c;
+              List.rev (v :: acc)
+          | Some _ | None -> fail c "expected ',' or ']'"
+        in
+        Arr (items [])
+      end
+  | Some 't' -> parse_literal c "true" (Bool true)
+  | Some 'f' -> parse_literal c "false" (Bool false)
+  | Some 'n' -> parse_literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected character '%c'" ch)
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos = String.length s then Ok v else Error "trailing garbage"
+  | exception Parse_error msg -> Error msg
+
+(* --- typed accessors ----------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | Str _ | Arr _ -> None
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Null | Bool _ | Str _ | Arr _ | Obj _ -> None
+
+let to_int_opt = function
+  | Int i -> Some i
+  | Null | Bool _ | Float _ | Str _ | Arr _ | Obj _ -> None
+
+let to_string_opt = function
+  | Str s -> Some s
+  | Null | Bool _ | Int _ | Float _ | Arr _ | Obj _ -> None
+
+let to_bool_opt = function
+  | Bool b -> Some b
+  | Null | Int _ | Float _ | Str _ | Arr _ | Obj _ -> None
+
+let to_list_opt = function
+  | Arr items -> Some items
+  | Null | Bool _ | Int _ | Float _ | Str _ | Obj _ -> None

@@ -1,0 +1,186 @@
+(* Metrics registry plus the derivation pass that folds a recorded event
+   stream into counters / gauges / simulated-time histograms.  All
+   enumeration is sorted so two identically-seeded runs render byte-identical
+   summaries. *)
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, Vs_stats.Summary.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    hists = Hashtbl.create 16;
+  }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let observe t name v =
+  match Hashtbl.find_opt t.hists name with
+  | Some s -> Vs_stats.Summary.add s v
+  | None ->
+      let s = Vs_stats.Summary.create () in
+      Vs_stats.Summary.add s v;
+      Hashtbl.replace t.hists name s
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with Some r -> Some !r | None -> None
+
+let hist t name = Hashtbl.find_opt t.hists name
+
+let counters t =
+  List.map
+    (fun (k, r) -> (k, !r))
+    (Vs_util.Hashtblx.sorted_bindings ~cmp:String.compare t.counters)
+
+let gauges t =
+  List.map
+    (fun (k, r) -> (k, !r))
+    (Vs_util.Hashtblx.sorted_bindings ~cmp:String.compare t.gauges)
+
+let hists t = Vs_util.Hashtblx.sorted_bindings ~cmp:String.compare t.hists
+
+(* --- derivation from an event stream ------------------------------------- *)
+
+let of_entries (entries : Recorder.entry list) =
+  let m = create () in
+  (* current app mode per node, for the messages-per-mode split *)
+  let node_mode : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let mode_of (p : Event.proc) =
+    match Hashtbl.find_opt node_mode p.node with Some s -> s | None -> "N"
+  in
+  (* first propose time per view id, for install latency *)
+  let proposed : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  (* first flush-ack per (proc, view id), for flush stall *)
+  let flushed : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  (* open tasks per (proc, task kind) *)
+  let tasks : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Recorder.entry) ->
+      let time = e.time in
+      set_gauge m "run.last-event-time" time;
+      match e.event with
+      | Event.Send { src; _ } ->
+          incr m "net.sends";
+          incr m ("net.sends.mode." ^ mode_of src)
+      | Event.Recv _ -> incr m "net.recvs"
+      | Event.Drop { reason; _ } ->
+          incr m "net.drops";
+          incr m ("net.drops." ^ reason)
+      | Event.Dup _ -> incr m "net.dups"
+      | Event.Retransmit { count; peer; _ } ->
+          incr ~by:count m "vsync.retransmits";
+          if peer then incr ~by:count m "vsync.retransmits.peer"
+      | Event.Backoff _ -> incr m "vsync.backoffs"
+      | Event.Suspect _ -> incr m "fd.suspects"
+      | Event.Unsuspect _ -> incr m "fd.unsuspects"
+      | Event.Propose { vid; _ } ->
+          incr m "gms.proposes";
+          let key = Event.vid_to_string vid in
+          if not (Hashtbl.mem proposed key) then Hashtbl.replace proposed key time
+      | Event.Flush { proc; vid; _ } ->
+          incr m "gms.flushes";
+          let key =
+            Event.proc_to_string proc ^ "|" ^ Event.vid_to_string vid
+          in
+          if not (Hashtbl.mem flushed key) then Hashtbl.replace flushed key time
+      | Event.Install { proc; vid; sync; _ } ->
+          incr m "gms.installs";
+          observe m "view.sync-deliveries" (float_of_int sync);
+          let vkey = Event.vid_to_string vid in
+          (match Hashtbl.find_opt proposed vkey with
+          | Some t0 -> observe m "view.install-latency" (time -. t0)
+          | None -> ());
+          let fkey = Event.proc_to_string proc ^ "|" ^ vkey in
+          (match Hashtbl.find_opt flushed fkey with
+          | Some t0 ->
+              Hashtbl.remove flushed fkey;
+              observe m "view.flush-stall" (time -. t0)
+          | None -> ())
+      | Event.Eview _ -> incr m "evs.eviews"
+      | Event.Mode_change { proc; into_mode; cause; _ } ->
+          incr m ("mode.transitions." ^ cause);
+          Hashtbl.replace node_mode proc.node into_mode
+      | Event.Settle _ -> incr m "app.settles"
+      | Event.Task_start { proc; task; _ } ->
+          let key = Event.proc_to_string proc ^ "|" ^ task in
+          if not (Hashtbl.mem tasks key) then Hashtbl.replace tasks key time
+      | Event.Task_done { proc; task; _ } ->
+          let key = Event.proc_to_string proc ^ "|" ^ task in
+          (match Hashtbl.find_opt tasks key with
+          | Some t0 ->
+              Hashtbl.remove tasks key;
+              observe m ("task." ^ task) (time -. t0)
+          | None -> ())
+      | Event.Crash _ -> incr m "faults.crashes"
+      | Event.Partition _ -> incr m "faults.partitions"
+      | Event.Heal -> incr m "faults.heals"
+      | Event.Note _ -> ())
+    entries;
+  m
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let to_tables t =
+  let acc = ref [] in
+  let cs = counters t in
+  if cs <> [] then begin
+    let tbl =
+      Vs_stats.Table.create ~title:"metrics: counters"
+        ~columns:[ "metric"; "count" ]
+    in
+    List.iter
+      (fun (k, v) -> Vs_stats.Table.add_row tbl [ k; Vs_stats.Table.fint v ])
+      cs;
+    acc := tbl :: !acc
+  end;
+  let gs = gauges t in
+  if gs <> [] then begin
+    let tbl =
+      Vs_stats.Table.create ~title:"metrics: gauges"
+        ~columns:[ "metric"; "value" ]
+    in
+    List.iter
+      (fun (k, v) ->
+        Vs_stats.Table.add_row tbl [ k; Vs_stats.Table.ffloat ~decimals:4 v ])
+      gs;
+    acc := tbl :: !acc
+  end;
+  let hs = hists t in
+  if hs <> [] then begin
+    let tbl =
+      Vs_stats.Table.create ~title:"metrics: histograms (simulated time)"
+        ~columns:[ "metric"; "n"; "p50"; "p95"; "max" ]
+    in
+    List.iter
+      (fun (k, s) ->
+        Vs_stats.Table.add_row tbl
+          [
+            k;
+            Vs_stats.Table.fint (Vs_stats.Summary.count s);
+            Vs_stats.Table.ffloat ~decimals:4 (Vs_stats.Summary.percentile s 0.5);
+            Vs_stats.Table.ffloat ~decimals:4
+              (Vs_stats.Summary.percentile s 0.95);
+            Vs_stats.Table.ffloat ~decimals:4 (Vs_stats.Summary.max_value s);
+          ])
+      hs;
+    acc := tbl :: !acc
+  end;
+  List.rev !acc
+
+let to_text t =
+  String.concat "\n" (List.map Vs_stats.Table.to_string (to_tables t))

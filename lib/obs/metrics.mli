@@ -1,0 +1,42 @@
+(** Metrics registry: counters, gauges, and simulated-time histograms.
+
+    {!of_entries} folds a recorded event stream into the derived metrics the
+    paper's analysis calls for: per-view installation latency (first propose
+    to each install), flush stall time (a member's flush-ack to its install),
+    sync-barrier delivery counts, retransmit totals, and message counts split
+    by the sender's NORMAL/REDUCED/SETTLING mode.  All enumeration is sorted,
+    so identically-seeded runs render byte-identical summaries. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Registry} *)
+
+val incr : ?by:int -> t -> string -> unit
+
+val set_gauge : t -> string -> float -> unit
+
+val observe : t -> string -> float -> unit
+
+val counter : t -> string -> int
+(** 0 when absent. *)
+
+val gauge : t -> string -> float option
+
+val hist : t -> string -> Vs_stats.Summary.t option
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val gauges : t -> (string * float) list
+
+val hists : t -> (string * Vs_stats.Summary.t) list
+
+(** {2 Derivation and rendering} *)
+
+val of_entries : Recorder.entry list -> t
+
+val to_tables : t -> Vs_stats.Table.t list
+
+val to_text : t -> string

@@ -1,0 +1,72 @@
+type level = Off | Protocol | Full
+
+let level_to_string = function
+  | Off -> "off"
+  | Protocol -> "protocol"
+  | Full -> "full"
+
+let level_of_string = function
+  | "off" -> Some Off
+  | "protocol" -> Some Protocol
+  | "full" -> Some Full
+  | _ -> None
+
+type entry = { time : float; event : Event.t }
+
+type t = {
+  mutable level : level;
+  mutable rev_entries : entry list;
+  mutable count : int;
+  (* Materialized chronological view, rebuilt lazily when [count] moves past
+     [cache_count].  Every reader (entries, by_component, tail renderers)
+     shares one List.rev instead of paying for its own. *)
+  mutable cache : entry list;
+  mutable cache_count : int;
+}
+
+let default = ref Protocol
+
+let set_default_level l = default := l
+
+let default_level () = !default
+
+let create ?level () =
+  let level = match level with Some l -> l | None -> !default in
+  { level; rev_entries = []; count = 0; cache = []; cache_count = 0 }
+
+let level t = t.level
+
+let set_level t l = t.level <- l
+
+let protocol_on t = match t.level with Off -> false | Protocol | Full -> true
+
+let full_on t = match t.level with Full -> true | Off | Protocol -> false
+
+let emit t ~time event =
+  match t.level with
+  | Off -> ()
+  | Protocol | Full ->
+      t.rev_entries <- { time; event } :: t.rev_entries;
+      t.count <- t.count + 1
+
+let count t = t.count
+
+let entries t =
+  if t.cache_count <> t.count then begin
+    t.cache <- List.rev t.rev_entries;
+    t.cache_count <- t.count
+  end;
+  t.cache
+
+let tail ?(limit = 30) t =
+  let rec take n acc = function
+    | [] -> acc
+    | e :: rest -> if n <= 0 then acc else take (n - 1) (e :: acc) rest
+  in
+  take limit [] t.rev_entries
+
+let clear t =
+  t.rev_entries <- [];
+  t.count <- 0;
+  t.cache <- [];
+  t.cache_count <- 0

@@ -16,6 +16,7 @@ and t = {
   mutable live : int;  (* scheduled and not yet fired or cancelled *)
   queue : handle Heap.t;
   root_rng : Rng.t;
+  obs : Vs_obs.Recorder.t;
   tracer : Trace.t;
 }
 
@@ -23,7 +24,10 @@ let compare_handle a b =
   let c = Float.compare a.fire_at b.fire_at in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let create ?(seed = 1L) () =
+let create ?(seed = 1L) ?obs () =
+  let obs =
+    match obs with Some r -> r | None -> Vs_obs.Recorder.create ()
+  in
   {
     clock = 0.;
     next_seq = 0;
@@ -31,7 +35,8 @@ let create ?(seed = 1L) () =
     live = 0;
     queue = Heap.create ~cmp:compare_handle;
     root_rng = Rng.create seed;
-    tracer = Trace.create ();
+    obs;
+    tracer = Trace.of_recorder obs;
   }
 
 let now t = t.clock
@@ -41,6 +46,14 @@ let rng t = t.root_rng
 let fork_rng t = Rng.split t.root_rng
 
 let trace t = t.tracer
+
+let obs t = t.obs
+
+let emit t event = Vs_obs.Recorder.emit t.obs ~time:t.clock event
+
+let obs_on t = Vs_obs.Recorder.protocol_on t.obs
+
+let obs_full t = Vs_obs.Recorder.full_on t.obs
 
 let record t ~component message =
   Trace.record t.tracer ~time:t.clock ~component message

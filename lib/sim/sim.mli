@@ -11,8 +11,10 @@ type t
 type handle
 (** A scheduled event; can be cancelled before it fires. *)
 
-val create : ?seed:int64 -> unit -> t
-(** [create ?seed ()] makes an engine at virtual time 0. Default seed 1. *)
+val create : ?seed:int64 -> ?obs:Vs_obs.Recorder.t -> unit -> t
+(** [create ?seed ()] makes an engine at virtual time 0. Default seed 1.
+    [?obs] supplies the per-run event recorder; a fresh one at the
+    process-wide default level is created when omitted. *)
 
 val now : t -> float
 (** Current virtual time (seconds). *)
@@ -26,8 +28,23 @@ val fork_rng : t -> Vs_util.Rng.t
 
 val trace : t -> Trace.t
 
+val obs : t -> Vs_obs.Recorder.t
+(** The engine's event recorder. *)
+
+val emit : t -> Vs_obs.Event.t -> unit
+(** Emit a typed event at the current virtual time (no-op when recording is
+    off). *)
+
+val obs_on : t -> bool
+(** Recording at [Protocol] level or above. *)
+
+val obs_full : t -> bool
+(** Recording at [Full] level — guards per-message data-path events so that
+    non-[Full] runs pay zero allocations per send. *)
+
 val record : t -> component:string -> string -> unit
-(** Record a trace entry at the current virtual time. *)
+(** Record a trace entry at the current virtual time.
+    @deprecated prefer [emit] with a typed event. *)
 
 val after : t -> float -> (unit -> unit) -> handle
 (** [after t d f] schedules [f] at [now t +. d]. [d] must be >= 0. *)

@@ -1,23 +1,56 @@
+(* Compatibility shim over Vs_obs.
+
+   The historical trace was untyped (time, component, message) triples.  The
+   observability layer (lib/obs) now owns the event stream; this module
+   renders it back into the old shape for existing readers.  [record] turns
+   into a typed [Note] event, and [entries] materializes the rendered view
+   once per recorder generation — [by_component] reuses it instead of paying
+   a full List.rev per query. *)
+
+module Recorder = Vs_obs.Recorder
+module Event = Vs_obs.Event
+
 type entry = { time : float; component : string; message : string }
 
-type t = { mutable rev_entries : entry list; mutable count : int }
+type t = {
+  recorder : Recorder.t;
+  mutable cache : entry list;
+  mutable cache_count : int;
+}
 
-let create () = { rev_entries = []; count = 0 }
+let of_recorder recorder = { recorder; cache = []; cache_count = 0 }
+
+let create () = of_recorder (Recorder.create ())
+
+let recorder t = t.recorder
 
 let record t ~time ~component message =
-  t.rev_entries <- { time; component; message } :: t.rev_entries;
-  t.count <- t.count + 1
+  Recorder.emit t.recorder ~time (Event.Note { component; message })
 
-let entries t = List.rev t.rev_entries
+let render_entry (e : Recorder.entry) =
+  {
+    time = e.time;
+    component = Event.component e.event;
+    message = Event.render e.event;
+  }
+
+let entries t =
+  let count = Recorder.count t.recorder in
+  if t.cache_count <> count then begin
+    t.cache <- List.map render_entry (Recorder.entries t.recorder);
+    t.cache_count <- count
+  end;
+  t.cache
 
 let by_component t component =
   List.filter (fun e -> String.equal e.component component) (entries t)
 
-let length t = t.count
+let length t = Recorder.count t.recorder
 
 let clear t =
-  t.rev_entries <- [];
-  t.count <- 0
+  Recorder.clear t.recorder;
+  t.cache <- [];
+  t.cache_count <- 0
 
 let pp_entry ppf e =
   Format.fprintf ppf "[%10.4f] %-8s %s" e.time e.component e.message

@@ -1,8 +1,10 @@
-(** Append-only trace of simulation events.
+(** Legacy trace view — a thin compatibility shim over [Vs_obs].
 
-    Protocol layers record interesting transitions (view installs, mode
-    changes, message drops) here; tests and the experiment harness read the
-    trace back as the ground-truth chronicle of a run. *)
+    @deprecated New code should emit typed events via [Sim.emit] /
+    [Vs_obs.Recorder] and read them back with [Vs_obs.Recorder.entries];
+    this module merely renders that stream into the historical
+    (time, component, message) triples for existing readers.  [record]
+    becomes a typed [Note] event on the underlying recorder. *)
 
 type entry = {
   time : float;        (** virtual time of the event *)
@@ -14,10 +16,18 @@ type t
 
 val create : unit -> t
 
+val of_recorder : Vs_obs.Recorder.t -> t
+(** Wrap an existing recorder; entries recorded on either side are visible
+    through both. *)
+
+val recorder : t -> Vs_obs.Recorder.t
+
 val record : t -> time:float -> component:string -> string -> unit
 
 val entries : t -> entry list
-(** All entries, oldest first. *)
+(** All entries rendered oldest first.  The rendered list is materialized
+    once per recorder generation and shared by all readers (including
+    {!by_component}). *)
 
 val by_component : t -> string -> entry list
 

@@ -186,6 +186,8 @@ let log_event t msg =
   Sim.record t.sim ~component:"vsync"
     (Printf.sprintf "%s %s" (Proc_id.to_string t.me) msg)
 
+let obs_me t = Proc_id.to_obs t.me
+
 let unicast t dst payload = Net.send t.net ~src:t.me ~dst payload
 
 (* ---------- reliable control plane ----------
@@ -231,6 +233,14 @@ let rec ctl_arm t rid entry payload ~is_done =
                entry.c_delay <-
                  Float.min t.config.retry_backoff_max (entry.c_delay *. 2.0);
                t.s_ctl_retries <- t.s_ctl_retries + 1;
+               Sim.emit t.sim
+                 (Vs_obs.Event.Backoff
+                    {
+                      proc = obs_me t;
+                      dst = Proc_id.to_obs entry.c_dst;
+                      attempt = entry.c_attempts;
+                      delay = entry.c_delay;
+                    });
                unicast t entry.c_dst (Wire.Reliable { rid; payload });
                ctl_arm t rid entry payload ~is_done
              end
@@ -466,6 +476,13 @@ let abandon_proposal t =
 
 let send_flush_ack t pvid coordinator =
   let seen = all_seen t in
+  Sim.emit t.sim
+    (Vs_obs.Event.Flush
+       {
+         proc = obs_me t;
+         vid = View.Id.to_obs pvid;
+         seen = List.length seen;
+       });
   (* Moot once this flush is over: either the Install for [pvid] arrived
      (phase Active) or a higher proposal superseded it. *)
   ctl_send t coordinator
@@ -514,9 +531,13 @@ and start_proposal t members =
   let p = { p_vid = pvid; p_members = members; p_acks = Hashtbl.create 8; p_timer = None } in
   t.proposal <- Some p;
   t.s_proposals <- t.s_proposals + 1;
-  log_event t
-    (Printf.sprintf "propose %s {%s}" (View.Id.to_string pvid)
-       (String.concat "," (List.map Proc_id.to_string members)));
+  Sim.emit t.sim
+    (Vs_obs.Event.Propose
+       {
+         proc = obs_me t;
+         vid = View.Id.to_obs pvid;
+         members = List.map Proc_id.to_obs members;
+       });
   p.p_timer <-
     Some
       (Sim.after t.sim t.config.flush_timeout (fun () ->
@@ -696,9 +717,14 @@ and handle_install t ~pvid ~view:new_view ~sync ~anns ~priors =
       Hashtbl.reset t.to_streams;
       Hashtbl.reset t.stable_vectors;
       t.s_views <- t.s_views + 1;
-      log_event t
-        (Printf.sprintf "install %s (+%d sync)" (View.to_string new_view)
-           !delivered_now);
+      Sim.emit t.sim
+        (Vs_obs.Event.Install
+           {
+             proc = obs_me t;
+             vid = View.Id.to_obs new_view.View.id;
+             members = List.map Proc_id.to_obs new_view.View.members;
+             sync = !delivered_now;
+           });
       flush_pending t;
       t.callbacks.on_view { view = new_view; annotations = anns; priors };
       (* Messages of the new view that raced ahead of the Install. *)
@@ -820,9 +846,18 @@ let handle_nack t ~src ~vid ~sender ~missing =
           List.filter_map (fun seq -> Hashtbl.find_opt s.log seq) missing
         in
         if found <> [] then begin
-          t.s_retransmits <- t.s_retransmits + List.length found;
-          if not (Proc_id.equal sender t.me) then
-            t.s_peer_retransmits <- t.s_peer_retransmits + List.length found;
+          let n = List.length found in
+          let peer = not (Proc_id.equal sender t.me) in
+          t.s_retransmits <- t.s_retransmits + n;
+          if peer then t.s_peer_retransmits <- t.s_peer_retransmits + n;
+          Sim.emit t.sim
+            (Vs_obs.Event.Retransmit
+               {
+                 proc = obs_me t;
+                 origin = Proc_id.to_obs sender;
+                 count = n;
+                 peer;
+               });
           unicast t src (Wire.Retransmit found)
         end
   end

@@ -96,3 +96,20 @@ let rec size_of ~user ~ann = function
       + (id_size * View.size view)
       + sync_size + ann_size
       + (2 * id_size * List.length priors)
+
+let rec kind = function
+  | Heartbeat -> "heartbeat"
+  | Leave_announce -> "leave"
+  | Data { body = User _; _ } -> "data"
+  | Data { body = Relay _; _ } -> "relay"
+  | Data { body = Causal _; _ } -> "causal"
+  | To_request _ -> "to-request"
+  | Nack _ -> "nack"
+  | Stable_report _ -> "stable"
+  | Retransmit _ -> "retransmit"
+  | Reliable { payload; _ } -> kind payload
+  | Ctl_ack _ -> "ctl-ack"
+  | Propose _ -> "propose"
+  | Propose_reject _ -> "propose-reject"
+  | Flush_ack _ -> "flush-ack"
+  | Install _ -> "install"

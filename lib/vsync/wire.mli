@@ -86,3 +86,7 @@ val compare_data : 'a data -> 'a data -> int
 
 val size_of : user:('a -> int) -> ann:('ann -> int) -> ('a, 'ann) t -> int
 (** Nominal encoded size in bytes, for traffic accounting (E9/E10). *)
+
+val kind : ('a, 'ann) t -> string
+(** Stable message-kind name for observability ([Reliable] reports its inner
+    payload's kind — the wrapper is transport, not protocol). *)

@@ -1,0 +1,230 @@
+(* Tests for the observability layer: recorder levels, JSONL/Chrome
+   exporters, metrics derivation, histogram quantiles, determinism of the
+   rendered artifacts, and the legacy Trace shim. *)
+
+module Sim = Vs_sim.Sim
+module Trace = Vs_sim.Trace
+module Event = Vs_obs.Event
+module Recorder = Vs_obs.Recorder
+module Json = Vs_obs.Json
+module Export = Vs_obs.Export
+module Metrics = Vs_obs.Metrics
+module Summary = Vs_stats.Summary
+module Campaign = Vs_check.Campaign
+
+let check = Alcotest.check
+
+let p node inc = { Event.node; inc }
+
+let v epoch node = { Event.epoch; proposer = p node 0 }
+
+(* ---------- lib/stats quantiles (the histogram backend) ---------- *)
+
+let test_percentile_empty () =
+  let s = Summary.create () in
+  check (Alcotest.float 0.) "empty p50" 0. (Summary.percentile s 0.5);
+  check (Alcotest.float 0.) "empty p95" 0. (Summary.percentile s 0.95);
+  check Alcotest.bool "empty max is -inf" true
+    (Summary.max_value s = Float.neg_infinity)
+
+let test_percentile_single () =
+  let s = Summary.of_list [ 42. ] in
+  check (Alcotest.float 0.) "single p50" 42. (Summary.percentile s 0.5);
+  check (Alcotest.float 0.) "single p95" 42. (Summary.percentile s 0.95);
+  check (Alcotest.float 0.) "single max" 42. (Summary.max_value s)
+
+let test_percentile_nearest_rank () =
+  (* 1..20: nearest-rank p95 is the ceil(0.95*20) = 19th smallest. *)
+  let s = Summary.of_list (List.init 20 (fun i -> float_of_int (i + 1))) in
+  check (Alcotest.float 0.) "p95 of 1..20" 19. (Summary.percentile s 0.95);
+  check (Alcotest.float 0.) "p50 of 1..20" 10. (Summary.percentile s 0.5);
+  check (Alcotest.float 0.) "p100 of 1..20" 20. (Summary.percentile s 1.0)
+
+(* ---------- recorder levels ---------- *)
+
+let test_recorder_levels () =
+  let off = Recorder.create ~level:Recorder.Off () in
+  Recorder.emit off ~time:1. Event.Heal;
+  check Alcotest.int "Off records nothing" 0 (Recorder.count off);
+  let full = Recorder.create ~level:Recorder.Full () in
+  Recorder.emit full ~time:1. Event.Heal;
+  Recorder.emit full ~time:2. (Event.Crash { proc = p 0 0 });
+  check Alcotest.int "Full records" 2 (Recorder.count full);
+  check (Alcotest.list (Alcotest.float 0.)) "entries oldest first" [ 1.; 2. ]
+    (List.map (fun e -> e.Recorder.time) (Recorder.entries full))
+
+let test_protocol_skips_traffic () =
+  (* A lossy campaign recorded at Protocol level must contain protocol
+     events but no per-message traffic. *)
+  let recorder = Recorder.create ~level:Recorder.Protocol () in
+  let spec = Campaign.generate ~seed:3 ~nodes:4 ~quick:true () in
+  let (_ : Campaign.outcome) = Campaign.run ~obs:recorder spec in
+  let names =
+    List.map (fun e -> Event.type_name e.Recorder.event) (Recorder.entries recorder)
+  in
+  check Alcotest.bool "has protocol events" true (List.mem "install" names);
+  check Alcotest.bool "no sends at Protocol" false (List.mem "send" names);
+  check Alcotest.bool "no recvs at Protocol" false (List.mem "recv" names)
+
+let test_tail () =
+  let r = Recorder.create ~level:Recorder.Full () in
+  for i = 1 to 10 do
+    Recorder.emit r ~time:(float_of_int i) Event.Heal
+  done;
+  let tail = Recorder.tail ~limit:3 r in
+  check (Alcotest.list (Alcotest.float 0.)) "last 3, oldest first" [ 8.; 9.; 10. ]
+    (List.map (fun e -> e.Recorder.time) tail);
+  check Alcotest.int "tail larger than stream" 10
+    (List.length (Recorder.tail ~limit:50 r))
+
+(* ---------- exporters ---------- *)
+
+let full_run seed =
+  let recorder = Recorder.create ~level:Recorder.Full () in
+  let spec = Campaign.generate ~seed ~nodes:4 ~quick:true () in
+  let (_ : Campaign.outcome) = Campaign.run ~obs:recorder spec in
+  recorder
+
+let test_jsonl_deterministic () =
+  let a = full_run 5 and b = full_run 5 in
+  check Alcotest.bool "recorded something" true (Recorder.count a > 100);
+  check Alcotest.string "identical seeds give byte-identical JSONL"
+    (Export.jsonl_of_entries (Recorder.entries a))
+    (Export.jsonl_of_entries (Recorder.entries b));
+  check Alcotest.string "and byte-identical metrics summaries"
+    (Metrics.to_text (Metrics.of_entries (Recorder.entries a)))
+    (Metrics.to_text (Metrics.of_entries (Recorder.entries b)))
+
+let test_jsonl_round_trip () =
+  let recorder = full_run 11 in
+  let text = Export.jsonl_of_entries (Recorder.entries recorder) in
+  match Export.entries_of_jsonl text with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok entries ->
+      check Alcotest.int "entry count survives" (Recorder.count recorder)
+        (List.length entries);
+      check Alcotest.string "re-emission is the identity" text
+        (Export.jsonl_of_entries entries)
+
+let test_chrome_export () =
+  let recorder = full_run 7 in
+  let doc = Export.chrome_of_entries (Recorder.entries recorder) in
+  match Json.of_string doc with
+  | Error e -> Alcotest.failf "chrome export is not valid JSON: %s" e
+  | Ok json -> (
+      match Option.bind (Json.member "traceEvents" json) Json.to_list_opt with
+      | None -> Alcotest.fail "no traceEvents array"
+      | Some events ->
+          check Alcotest.bool "has events" true (List.length events > 0);
+          List.iter
+            (fun ev ->
+              let has k = Json.member k ev <> None in
+              let meta =
+                match Option.bind (Json.member "ph" ev) Json.to_string_opt with
+                | Some "M" -> true
+                | Some _ | None -> false
+              in
+              (* process-scoped "M" metadata carries no tid *)
+              check Alcotest.bool "event has ph/pid(/tid)" true
+                (has "ph" && has "pid" && (has "tid" || meta)))
+            events)
+
+(* ---------- metrics derivation on a synthetic stream ---------- *)
+
+let test_metrics_derivation () =
+  let e time event = { Recorder.time; event } in
+  let entries =
+    [
+      e 0.0
+        (Event.Propose { proc = p 0 0; vid = v 1 0; members = [ p 0 0; p 1 0 ] });
+      e 0.1 (Event.Flush { proc = p 1 0; vid = v 1 0; seen = 2 });
+      e 0.25
+        (Event.Install
+           { proc = p 1 0; vid = v 1 0; members = [ p 0 0; p 1 0 ]; sync = 3 });
+      e 0.3 (Event.Send { src = p 0 0; dst = p 1 0; kind = "data"; bytes = 8 });
+      e 0.4 (Event.Drop { src = p 0 0; dst = p 1 0; kind = "data"; reason = "loss" });
+    ]
+  in
+  let m = Metrics.of_entries entries in
+  check Alcotest.int "installs counted" 1 (Metrics.counter m "gms.installs");
+  check Alcotest.int "drops by reason" 1 (Metrics.counter m "net.drops.loss");
+  check Alcotest.int "sends by mode default N" 1
+    (Metrics.counter m "net.sends.mode.N");
+  (match Metrics.hist m "view.install-latency" with
+  | None -> Alcotest.fail "no install-latency histogram"
+  | Some s ->
+      check (Alcotest.float 1e-9) "latency = propose->install" 0.25
+        (Summary.max_value s));
+  (match Metrics.hist m "view.flush-stall" with
+  | None -> Alcotest.fail "no flush-stall histogram"
+  | Some s ->
+      check (Alcotest.float 1e-9) "stall = flush->install" 0.15
+        (Summary.max_value s));
+  match Metrics.hist m "view.sync-deliveries" with
+  | None -> Alcotest.fail "no sync-deliveries histogram"
+  | Some s -> check (Alcotest.float 0.) "sync count" 3. (Summary.max_value s)
+
+(* ---------- canonical JSON ---------- *)
+
+let test_json_canonical () =
+  List.iter
+    (fun (txt, expect) ->
+      match Json.of_string txt with
+      | Error e -> Alcotest.failf "%s does not parse: %s" txt e
+      | Ok j -> check Alcotest.string txt expect (Json.to_string j))
+    [
+      ({|{"a":1,"b":[true,null,"x\n"],"t":0.25}|},
+       {|{"a":1,"b":[true,null,"x\n"],"t":0.25}|});
+      ({|{"t":3.0}|}, {|{"t":3.0}|});
+      ("[]", "[]");
+    ];
+  check Alcotest.string "integer float" "3.0" (Json.float_repr 3.);
+  check Alcotest.string "fraction" "0.0012" (Json.float_repr 0.0012)
+
+(* ---------- the legacy Trace shim ---------- *)
+
+let test_trace_shim () =
+  let sim = Sim.create ~obs:(Recorder.create ~level:Recorder.Full ()) () in
+  let tr = Sim.trace sim in
+  Sim.record sim ~component:"app" "first";
+  Sim.emit sim (Event.Crash { proc = p 2 0 });
+  Sim.record sim ~component:"app" "second";
+  check Alcotest.int "length counts typed and note events" 3 (Trace.length tr);
+  let app = Trace.by_component tr "app" in
+  check (Alcotest.list Alcotest.string) "by_component filters notes"
+    [ "first"; "second" ]
+    (List.map (fun e -> e.Trace.message) app);
+  let all = Trace.entries tr in
+  check (Alcotest.list Alcotest.string) "typed events render into the stream"
+    [ "app"; "net"; "app" ]
+    (List.map (fun e -> e.Trace.component) all);
+  (* repeated reads share the materialized view *)
+  check Alcotest.bool "entries cache is reused" true (Trace.entries tr == all)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "quantiles",
+        [
+          Alcotest.test_case "empty" `Quick test_percentile_empty;
+          Alcotest.test_case "single" `Quick test_percentile_single;
+          Alcotest.test_case "nearest-rank" `Quick test_percentile_nearest_rank;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "levels" `Quick test_recorder_levels;
+          Alcotest.test_case "protocol-skips-traffic" `Quick
+            test_protocol_skips_traffic;
+          Alcotest.test_case "tail" `Quick test_tail;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "jsonl-deterministic" `Quick test_jsonl_deterministic;
+          Alcotest.test_case "jsonl-round-trip" `Quick test_jsonl_round_trip;
+          Alcotest.test_case "chrome" `Quick test_chrome_export;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "derivation" `Quick test_metrics_derivation ] );
+      ( "json", [ Alcotest.test_case "canonical" `Quick test_json_canonical ] );
+      ( "trace-shim", [ Alcotest.test_case "compat" `Quick test_trace_shim ] );
+    ]

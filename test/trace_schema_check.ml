@@ -1,0 +1,125 @@
+(* @trace-schema drift guard.
+
+   A synthetic event stream covering every Event.t variant is committed as
+   test/trace_schema_sample.jsonl.  This check regenerates the sample from
+   the current schema and verifies
+
+     1. the committed file is byte-identical to what the current exporter
+        produces (field names, key order and float repr are all frozen);
+     2. every line parses back and re-emits byte-identically (the parser and
+        printer agree — a canonical round-trip);
+     3. the sample covers all of Event.all_type_names, so adding a variant
+        without extending the sample fails loudly.
+
+   Regenerate after an intentional schema change with:
+
+     dune exec test/trace_schema_check.exe -- --write test/trace_schema_sample.jsonl
+*)
+
+module Event = Vs_obs.Event
+module Recorder = Vs_obs.Recorder
+module Export = Vs_obs.Export
+
+let p node inc = { Event.node; inc }
+
+let v epoch node = { Event.epoch; proposer = p node 0 }
+
+let sample_entries =
+  let e time event = { Recorder.time; event } in
+  [
+    e 0. (Event.Send { src = p 0 0; dst = p 1 0; kind = "heartbeat"; bytes = 16 });
+    e 0.0012 (Event.Recv { src = p 0 0; dst = p 1 0; kind = "heartbeat" });
+    e 0.002
+      (Event.Drop { src = p 1 0; dst = p 2 (-1); kind = "data"; reason = "loss" });
+    e 0.0031 (Event.Dup { src = p 1 0; dst = p 0 0; kind = "stable" });
+    e 0.0125
+      (Event.Retransmit { proc = p 0 0; origin = p 1 0; count = 3; peer = true });
+    e 0.02 (Event.Backoff { proc = p 0 0; dst = p 2 0; attempt = 2; delay = 0.05 });
+    e 0.03 (Event.Suspect { proc = p 0 0; peer = p 2 0 });
+    e 0.04 (Event.Unsuspect { proc = p 0 0; peer = p 2 0 });
+    e 0.05
+      (Event.Propose
+         { proc = p 0 0; vid = v 2 0; members = [ p 0 0; p 1 0; p 2 1 ] });
+    e 0.06 (Event.Flush { proc = p 1 0; vid = v 2 0; seen = 4 });
+    e 0.07
+      (Event.Install
+         { proc = p 1 0; vid = v 2 0; members = [ p 0 0; p 1 0; p 2 1 ]; sync = 2 });
+    e 0.08
+      (Event.Eview
+         { proc = p 1 0; vid = v 2 0; eseq = 1; cause = "view"; subviews = 2;
+           svsets = 1 });
+    e 0.09
+      (Event.Mode_change
+         { proc = p 1 0; from_mode = "NORMAL"; into_mode = "SETTLING";
+           cause = "settling-entered" });
+    e 0.1
+      (Event.Settle
+         { proc = p 1 0; vid = v 2 0; transfer = true; creation = "none";
+           merging = false; clusters = 2 });
+    e 0.11 (Event.Task_start { proc = p 1 0; task = "transfer"; vid = v 2 0 });
+    e 0.127 (Event.Task_done { proc = p 1 0; task = "transfer"; vid = v 2 0 });
+    e 0.2 (Event.Crash { proc = p 2 1 });
+    e 0.3 (Event.Partition { components = [ [ 0; 1 ]; [ 2 ] ] });
+    e 0.4 Event.Heal;
+    e 0.5 (Event.Note { component = "app"; message = "custom \"quoted\" marker" });
+  ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "trace-schema FAIL: %s\n" msg)
+    fmt
+
+let check path =
+  let expected = Export.jsonl_of_entries sample_entries in
+  (* 1. the committed sample matches the current schema byte-for-byte *)
+  let actual = read_file path in
+  if not (String.equal actual expected) then
+    fail "%s is out of date with the event schema — regenerate with --write"
+      path;
+  (* 2. each line round-trips: parse then re-emit is the identity *)
+  List.iteri
+    (fun i line ->
+      if not (String.equal line "") then
+        match Export.entry_of_jsonl line with
+        | Error e -> fail "line %d does not parse: %s" (i + 1) e
+        | Ok entry ->
+            let again = Export.jsonl_of_entry entry in
+            if not (String.equal again line) then
+              fail "line %d is not a fixed point: %s -> %s" (i + 1) line again)
+    (String.split_on_char '\n' actual);
+  (* 3. the sample exercises every wire type name *)
+  let covered =
+    List.map (fun e -> Event.type_name e.Recorder.event) sample_entries
+  in
+  List.iter
+    (fun name ->
+      if not (List.mem name covered) then
+        fail "event type %S is not covered by the sample" name)
+    Event.all_type_names;
+  if !failures = 0 then print_endline "trace-schema OK"
+  else exit 1
+
+let write path =
+  let oc = open_out_bin path in
+  output_string oc (Export.jsonl_of_entries sample_entries);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--write"; path ] -> write path
+  | [ _; path ] -> check path
+  | _ ->
+      prerr_endline "usage: trace_schema_check [--write] <sample.jsonl>";
+      exit 2
