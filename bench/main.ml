@@ -19,6 +19,19 @@ module Classify = Evs_core.Classify
 module Proc_id = Vs_net.Proc_id
 module View = Vs_gms.View
 
+module Recorder = Vs_obs.Recorder
+module Json = Vs_obs.Json
+
+(* vslint: allow D1 — wall-clock is the quantity being measured; bench output only *)
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+(* Consolidated machine-readable record: every section that runs contributes
+   key/value pairs here, and main writes BENCH_obs.json on every invocation
+   (not just when the obs section runs). *)
+let bench_record : (string * Json.t) list ref = ref []
+
+let exp_walls : (string * float) list ref = ref []
+
 let experiments =
   [
     ("e1", "Figure 1: mode-transition matrix", Vs_exp.Exp_modes.tables);
@@ -41,7 +54,9 @@ let run_experiments ~quick ~only =
       if selected then begin
         Printf.printf "### %s — %s\n\n%!" (String.uppercase_ascii id) blurb;
         let run : ?quick:bool -> unit -> Table.t list = tables in
-        List.iter Table.print (run ~quick ())
+        let t0 = now_ms () in
+        List.iter Table.print (run ~quick ());
+        exp_walls := !exp_walls @ [ (id, now_ms () -. t0) ]
       end)
     experiments
 
@@ -72,9 +87,6 @@ let run_explorer_smoke () =
   if report.Explorer.failures <> [] then exit 1
 
 (* ---------- observability overhead: instrumentation off vs on ---------- *)
-
-module Recorder = Vs_obs.Recorder
-module Json = Vs_obs.Json
 
 (* Allocation is the honest overhead metric here: it is deterministic (so it
    belongs in a lint-clean bench) and it is exactly what the Full-level
@@ -145,19 +157,26 @@ let run_obs () =
       (fun (id, _blurb, tables) ->
         let run : ?quick:bool -> unit -> Table.t list = tables in
         Recorder.set_default_level Recorder.Off;
+        let t0 = now_ms () in
         let bytes_off = measured_alloc (fun () -> ignore (run ~quick:true ())) in
+        let ms_off = now_ms () -. t0 in
         Recorder.set_default_level Recorder.Full;
+        let t1 = now_ms () in
         let bytes_on = measured_alloc (fun () -> ignore (run ~quick:true ())) in
-        (id, bytes_off, bytes_on))
+        let ms_on = now_ms () -. t1 in
+        (id, bytes_off, bytes_on, ms_off, ms_on))
       experiments
   in
   Recorder.set_default_level saved;
   let delta_table =
-    Table.create ~title:"E-series allocation, recording off vs Full (quick sweeps)"
-      ~columns:[ "experiment"; "MB off"; "MB on"; "ratio" ]
+    Table.create
+      ~title:
+        "E-series allocation and wall time, recording off vs Full (quick \
+         sweeps)"
+      ~columns:[ "experiment"; "MB off"; "MB on"; "ratio"; "ms off"; "ms on" ]
   in
   List.iter
-    (fun (id, bytes_off, bytes_on) ->
+    (fun (id, bytes_off, bytes_on, ms_off, ms_on) ->
       Table.add_row delta_table
         [
           id;
@@ -165,6 +184,8 @@ let run_obs () =
           Table.ffloat ~decimals:2 (bytes_on /. 1e6);
           Table.ffloat ~decimals:3
             (if bytes_off > 0. then bytes_on /. bytes_off else 0.);
+          Table.ffloat ~decimals:1 ms_off;
+          Table.ffloat ~decimals:1 ms_on;
         ])
     rows;
   Table.print delta_table;
@@ -179,10 +200,11 @@ let run_obs () =
     (Campaign.describe spec);
   print_endline (Metrics.to_text (Metrics.of_entries (Recorder.entries recorder)));
   print_newline ();
-  (* 4. Machine-readable record of the same numbers. *)
-  let json =
-    Json.Obj
-      [
+  (* 4. Machine-readable record of the same numbers, consolidated into the
+     BENCH_obs.json main writes at exit. *)
+  bench_record :=
+    !bench_record
+    @ [
         ( "send_words_per_call",
           Json.Obj
             [
@@ -194,7 +216,7 @@ let run_obs () =
         ( "experiments",
           Json.Arr
             (List.map
-               (fun (id, bytes_off, bytes_on) ->
+               (fun (id, bytes_off, bytes_on, ms_off, ms_on) ->
                  Json.Obj
                    [
                      ("id", Json.Str id);
@@ -204,15 +226,11 @@ let run_obs () =
                        Json.Float
                          (if bytes_off > 0. then bytes_on /. bytes_off else 0.)
                      );
+                     ("wall_ms_off", Json.Float ms_off);
+                     ("wall_ms_on", Json.Float ms_on);
                    ])
                rows) );
       ]
-  in
-  let oc = open_out "BENCH_obs.json" in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  print_endline "wrote BENCH_obs.json\n"
 
 (* ---------- Bechamel micro-benchmarks: the hot operation of each table ---------- *)
 
@@ -425,4 +443,20 @@ let () =
   (* CI explores a small seed budget on every quick run. *)
   if quick && only = [] then run_explorer_smoke ();
   if obs || run_all then run_obs ();
-  if micro || run_all then run_micro ()
+  if micro || run_all then run_micro ();
+  (* Consolidated record: whatever sections ran, plus the wall time of every
+     experiment of this invocation.  Written on every run. *)
+  let json =
+    Json.Obj
+      (!bench_record
+      @ [
+          ( "experiment_wall_ms",
+            Json.Obj
+              (List.map (fun (id, ms) -> (id, Json.Float ms)) !exp_walls) );
+        ])
+  in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_obs.json"

@@ -4,6 +4,8 @@
      experiment   regenerate the paper's tables (all or selected)
      campaign     run a randomized fault campaign and check the properties
      check        sweep seeds through the schedule explorer; shrink failures
+     explain      run/replay a campaign and print the failure attribution
+     query        run/replay a campaign and filter the recorded event stream
      trace        run a campaign and dump the annotated event trace
      lint         run the vslint determinism checks (same driver as vslint) *)
 
@@ -13,6 +15,10 @@ module Recorder = Vs_obs.Recorder
 module Event = Vs_obs.Event
 module Export = Vs_obs.Export
 module Metrics = Vs_obs.Metrics
+module Explain = Vs_obs.Explain
+module Lineage = Vs_obs.Lineage
+module Query = Vs_obs.Query
+module Json = Vs_obs.Json
 module Faults = Vs_harness.Faults
 module Oracle = Vs_harness.Oracle
 module Vc = Vs_harness.Vsync_cluster
@@ -21,21 +27,92 @@ module Campaign = Vs_check.Campaign
 module Explorer = Vs_check.Explorer
 module Shrink = Vs_check.Shrink
 module Repro = Vs_check.Repro
+module Explain_run = Vs_check.Explain_run
 open Cmdliner
 
-(* Shared event-tail printer: a failing run's last events, rendered like the
-   classic trace, indented under the failure report. *)
-let print_event_tail ?(limit = 30) ~indent recorder =
-  let entries = Recorder.tail ~limit recorder in
-  if entries <> [] then begin
-    Printf.printf "%slast %d event(s):\n" indent (List.length entries);
-    List.iter
-      (fun (e : Recorder.entry) ->
-        Printf.printf "%s  [%10.4f] %-8s %s\n" indent e.Recorder.time
-          (Event.component e.Recorder.event)
-          (Event.render e.Recorder.event))
-      entries
-  end
+(* Print a newline-terminated block with every line indented. *)
+let print_indented ~indent text =
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if line <> "" then Printf.printf "%s%s\n" indent line)
+
+(* ---------- shared argument pieces ---------- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let nodes_arg =
+  Arg.(value & opt int 5 & info [ "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let duration_arg =
+  Arg.(
+    value & opt float 6.0
+    & info [ "duration" ] ~docv:"SECONDS" ~doc:"Fault-injection window.")
+
+let obs_level_conv =
+  let parse s =
+    match Recorder.level_of_string s with
+    | Some l -> Ok l
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "invalid recording level %S; expected one of: %s" s
+               (String.concat ", " Recorder.all_level_names)))
+  in
+  let print ppf l = Format.pp_print_string ppf (Recorder.level_to_string l) in
+  Arg.conv (parse, print)
+
+let obs_level_arg default =
+  Arg.(
+    value & opt obs_level_conv default
+    & info [ "obs-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Event recording level: $(b,off), $(b,protocol) or $(b,full) \
+           (case-insensitive).  Lineage-based explanations need $(b,full); \
+           below that they fall back to membership traffic only.")
+
+let typed_conv name of_string to_string =
+  let parse s =
+    match of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "invalid %s %S" name s))
+  in
+  Arg.conv (parse, fun ppf v -> Format.pp_print_string ppf (to_string v))
+
+let proc_conv = typed_conv "process" Event.proc_of_string Event.proc_to_string
+
+let vid_conv = typed_conv "view id" Event.vid_of_string Event.vid_to_string
+
+let msg_conv = typed_conv "message id" Event.msg_of_string Event.msg_to_string
+
+(* replay FILE / generated seed campaign: shared by explain, query, trace. *)
+let spec_of ~seed ~nodes ~evs ~replay =
+  match replay with
+  | Some file -> (
+      match Repro.load file with
+      | Error msg ->
+          Printf.eprintf "cannot load %s: %s\n" file msg;
+          exit 2
+      | Ok spec -> spec)
+  | None ->
+      let protocol =
+        if evs then Vs_harness.Driver.Evs else Vs_harness.Driver.Vsync
+      in
+      Campaign.generate ~protocol ~seed ~nodes ~quick:false ()
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Use a corpus repro artifact instead of a generated seed campaign.")
+
+let evs_arg =
+  Arg.(
+    value & flag
+    & info [ "evs" ]
+        ~doc:"Generate an EVS campaign from the seed (default plain VS).")
 
 (* ---------- experiment ---------- *)
 
@@ -84,17 +161,6 @@ let experiment_cmd =
 
 (* ---------- campaign ---------- *)
 
-let seed_arg =
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
-
-let nodes_arg =
-  Arg.(value & opt int 5 & info [ "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
-
-let duration_arg =
-  Arg.(
-    value & opt float 6.0
-    & info [ "duration" ] ~docv:"SECONDS" ~doc:"Fault-injection window.")
-
 let campaign_cmd =
   let evs =
     Arg.(
@@ -102,7 +168,7 @@ let campaign_cmd =
       & info [ "evs" ]
           ~doc:"Run enriched view synchrony (checks Properties 6.1/6.3 too).")
   in
-  let run seed nodes duration evs =
+  let run seed nodes duration evs obs_level =
     let seed64 = Int64.of_int seed in
     let node_list = List.init nodes (fun i -> i) in
     let script rng =
@@ -110,15 +176,19 @@ let campaign_cmd =
         ~mean_gap:0.5 ()
     in
     let rng = Vs_util.Rng.create (Int64.add seed64 999L) in
-    let obs = Recorder.create () in
-    let errors, summary =
+    let obs = Recorder.create ~level:obs_level () in
+    let wrap property detail =
+      { Explain.property; msg = None; procs = []; vids = []; detail }
+    in
+    let verdicts, summary =
       if evs then begin
         let c = Ec.create ~seed:seed64 ~obs ~n:nodes () in
         Ec.run_script c (script rng);
         Ec.pump_traffic c ~start:0.5 ~until:(duration +. 0.5) ~mean_gap:0.03;
         Ec.run c ~until:(duration +. 4.0);
-        ( Oracle.check_all (Ec.oracle c)
-          @ Ec.check_total_order c @ Ec.check_structure c,
+        ( List.map Oracle.to_obs_violation (Oracle.all_violations (Ec.oracle c))
+          @ List.map (wrap Explain.Evs_total_order) (Ec.check_total_order c)
+          @ List.map (wrap Explain.Evs_structure) (Ec.check_structure c),
           Printf.sprintf
             "deliveries=%d installs=%d distinct-views=%d e-view-changes=%d"
             (Oracle.total_deliveries (Ec.oracle c))
@@ -131,7 +201,7 @@ let campaign_cmd =
         Vc.run_script c (script rng);
         Vc.pump_traffic c ~start:0.5 ~until:(duration +. 0.5) ~mean_gap:0.03;
         Vc.run c ~until:(duration +. 4.0);
-        ( Oracle.check_all (Vc.oracle c),
+        ( List.map Oracle.to_obs_violation (Oracle.all_violations (Vc.oracle c)),
           Printf.sprintf "deliveries=%d installs=%d distinct-views=%d stable=%b"
             (Oracle.total_deliveries (Vc.oracle c))
             (Oracle.total_installs (Vc.oracle c))
@@ -143,12 +213,17 @@ let campaign_cmd =
       duration
       (if evs then "(EVS)" else "(plain VS)");
     Printf.printf "run: %s\n" summary;
-    if errors = [] then
+    if verdicts = [] then
       print_endline "properties: all hold (agreement, uniqueness, integrity, order)"
     else begin
-      Printf.printf "VIOLATIONS (%d):\n" (List.length errors);
-      List.iter (fun e -> print_endline ("  " ^ e)) errors;
-      print_event_tail ~indent:"  " obs;
+      Printf.printf "VIOLATIONS (%d):\n" (List.length verdicts);
+      let entries = Recorder.entries obs in
+      let lineage = Lineage.of_entries entries in
+      List.iteri
+        (fun i v ->
+          Printf.printf "[%d] " (i + 1);
+          print_string (Explain.to_text (Explain.explain ~lineage ~entries v)))
+        verdicts;
       exit 1
     end
   in
@@ -156,8 +231,11 @@ let campaign_cmd =
     (Cmd.info "campaign"
        ~doc:
          "Run a randomized fault campaign and check the view-synchrony \
-          properties against the oracle.")
-    Term.(const run $ seed_arg $ nodes_arg $ duration_arg $ evs)
+          properties against the oracle; any violation is printed as a full \
+          causal explanation.")
+    Term.(
+      const run $ seed_arg $ nodes_arg $ duration_arg $ evs
+      $ obs_level_arg Recorder.Full)
 
 (* ---------- check ---------- *)
 
@@ -212,33 +290,22 @@ let check_cmd =
       & info [ "metrics" ]
           ~doc:"Print the derived metrics summary (counters, histograms).")
   in
-  let replay_file ~metrics file =
+  let replay_file ~metrics ~obs_level file =
     match Repro.load file with
     | Error msg ->
         Printf.eprintf "cannot load %s: %s\n" file msg;
         exit 2
     | Ok spec ->
-        Printf.printf "replay %s\n  %s\n" file (Campaign.describe spec);
-        let obs = Recorder.create ~level:Recorder.Protocol () in
+        Printf.printf "replay %s\n" file;
+        let obs = Recorder.create ~level:obs_level () in
         let outcome = Campaign.run ~obs spec in
-        Printf.printf
-          "  deliveries=%d installs=%d distinct-views=%d events=%d stable=%b\n"
-          outcome.Campaign.deliveries outcome.Campaign.installs
-          outcome.Campaign.distinct_views outcome.Campaign.events
-          outcome.Campaign.stable;
+        let report =
+          Explain_run.build ~spec ~outcome ~entries:(Recorder.entries obs)
+        in
+        print_indented ~indent:"  " (Explain_run.to_text report);
         if metrics then
           print_string (Metrics.to_text (Metrics.of_entries (Recorder.entries obs)));
-        if outcome.Campaign.violations = [] then
-          print_endline "  properties: all hold"
-        else begin
-          Printf.printf "  VIOLATIONS (%d):\n"
-            (List.length outcome.Campaign.violations);
-          List.iter
-            (fun e -> print_endline ("    " ^ e))
-            outcome.Campaign.violations;
-          print_event_tail ~indent:"  " obs;
-          exit 1
-        end
+        if not (Explain_run.clean report) then exit 1
   in
   let sweep seeds start_seed nodes quick no_shrink corpus verbose metrics =
     let progress =
@@ -294,11 +361,22 @@ let check_cmd =
               (Campaign.describe f.Explorer.f_shrunk);
             let path = Repro.save ~dir:corpus f.Explorer.f_shrunk in
             Printf.printf "  repro written to %s\n" path;
-            (* Replay the shrunk spec with recording on so the failure is
-               self-explaining, not just reproducible. *)
-            let obs = Recorder.create ~level:Recorder.Protocol () in
-            ignore (Campaign.run ~obs f.Explorer.f_shrunk);
-            print_event_tail ~indent:"  " obs;
+            (* Replay the shrunk spec with full recording so the failure is
+               self-explaining, not just reproducible, and attach the
+               explanation next to the saved artifact. *)
+            let obs = Recorder.create ~level:Recorder.Full () in
+            let outcome = Campaign.run ~obs f.Explorer.f_shrunk in
+            let explain_report =
+              Explain_run.build ~spec:f.Explorer.f_shrunk ~outcome
+                ~entries:(Recorder.entries obs)
+            in
+            let text = Explain_run.to_text explain_report in
+            print_indented ~indent:"  " text;
+            let expl_path = Filename.remove_extension path ^ ".explain.txt" in
+            let oc = open_out expl_path in
+            output_string oc text;
+            close_out oc;
+            Printf.printf "  explanation written to %s\n" expl_path;
             if metrics then
               print_string
                 (Metrics.to_text (Metrics.of_entries (Recorder.entries obs)))
@@ -307,9 +385,10 @@ let check_cmd =
       exit 1
     end
   in
-  let run seeds start_seed nodes quick no_shrink corpus replay verbose metrics =
+  let run seeds start_seed nodes quick no_shrink corpus replay verbose metrics
+      obs_level =
     match replay with
-    | Some file -> replay_file ~metrics file
+    | Some file -> replay_file ~metrics ~obs_level file
     | None -> sweep seeds start_seed nodes quick no_shrink corpus verbose metrics
   in
   Cmd.v
@@ -320,7 +399,172 @@ let check_cmd =
           failure to a minimal repro artifact, or replay one artifact.")
     Term.(
       const run $ seeds $ start_seed $ check_nodes $ quick $ no_shrink $ corpus
-      $ replay $ verbose $ metrics)
+      $ replay $ verbose $ metrics $ obs_level_arg Recorder.Full)
+
+(* ---------- explain ---------- *)
+
+let explain_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as one canonical JSON object.")
+  in
+  let graph =
+    Arg.(
+      value
+      & opt (some (enum [ ("mermaid", `Mermaid); ("dot", `Dot) ])) None
+      & info [ "graph" ] ~docv:"FORMAT"
+          ~doc:
+            "Also print the run's view graph as $(b,mermaid) or $(b,dot) \
+             (Graphviz) source.")
+  in
+  let run seed nodes evs replay json graph =
+    let spec = spec_of ~seed ~nodes ~evs ~replay in
+    (* Full level: lineage and causal slices need the per-message traffic. *)
+    let obs = Recorder.create ~level:Recorder.Full () in
+    let outcome = Campaign.run ~obs spec in
+    let report =
+      Explain_run.build ~spec ~outcome ~entries:(Recorder.entries obs)
+    in
+    if json then print_endline (Json.to_string (Explain_run.to_json report))
+    else print_string (Explain_run.to_text report);
+    (match graph with
+    | Some `Mermaid -> print_string (Lineage.to_mermaid (Explain_run.graph report))
+    | Some `Dot -> print_string (Lineage.to_dot (Explain_run.graph report))
+    | None -> ());
+    if not (Explain_run.clean report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run a seed campaign or replay a corpus repro with full recording \
+          and print the failure attribution: every oracle verdict with the \
+          offending message's lineage, the views involved and the minimal \
+          causal event slice — or the conservation/view-graph summary of a \
+          clean run.")
+    Term.(
+      const run $ seed_arg $ nodes_arg $ evs_arg $ replay_arg $ json $ graph)
+
+(* ---------- query ---------- *)
+
+let query_cmd =
+  let procs =
+    Arg.(
+      value & opt_all proc_conv []
+      & info [ "proc" ] ~docv:"PROC"
+          ~doc:
+            "Keep events mentioning this process, e.g. $(b,p0) or $(b,p2.1) \
+             (repeatable: any match).")
+  in
+  let nodes_f =
+    Arg.(
+      value & opt_all int []
+      & info [ "node" ] ~docv:"N"
+          ~doc:"Keep events mentioning any process on this node (repeatable).")
+  in
+  let vids =
+    Arg.(
+      value & opt_all vid_conv []
+      & info [ "vid" ] ~docv:"VID"
+          ~doc:"Keep events mentioning this view id, e.g. $(b,v3\\@p0) \
+                (repeatable).")
+  in
+  let msgs =
+    Arg.(
+      value & opt_all msg_conv []
+      & info [ "msg" ] ~docv:"MSG"
+          ~doc:
+            "Keep data-path events of this message, e.g. $(b,p0#2) \
+             (repeatable).")
+  in
+  let types =
+    Arg.(
+      value & opt_all string []
+      & info [ "type" ] ~docv:"EV"
+          ~doc:
+            "Keep events of this type (send, recv, drop, install, ...; \
+             repeatable).")
+  in
+  let comps =
+    Arg.(
+      value & opt_all string []
+      & info [ "component" ] ~docv:"C"
+          ~doc:"Keep events of this component (net, gms, vsync, ...; \
+                repeatable).")
+  in
+  let t0 =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "from" ] ~docv:"T" ~doc:"Keep events at or after this time.")
+  in
+  let t1 =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "until" ] ~docv:"T" ~doc:"Keep events at or before this time.")
+  in
+  let count_only =
+    Arg.(
+      value & flag
+      & info [ "count" ] ~doc:"Print only the number of matching events.")
+  in
+  let limit =
+    Arg.(
+      value & opt int 500
+      & info [ "limit" ] ~docv:"N" ~doc:"Maximum entries printed.")
+  in
+  let run seed nodes evs replay procs nodes_f vids msgs types comps t0 t1
+      count_only limit =
+    let spec = spec_of ~seed ~nodes ~evs ~replay in
+    let obs = Recorder.create ~level:Recorder.Full () in
+    ignore (Campaign.run ~obs spec);
+    let entries = Recorder.entries obs in
+    let disj of_q = function [] -> [] | xs -> [ Query.any (List.map of_q xs) ] in
+    let conjuncts =
+      List.concat
+        [
+          disj Query.mentions_proc procs;
+          disj Query.on_node nodes_f;
+          disj Query.mentions_vid vids;
+          disj Query.about_msg msgs;
+          disj Query.of_type types;
+          disj Query.of_component comps;
+          (match (t0, t1) with
+          | None, None -> []
+          | _ ->
+              [
+                Query.between
+                  ~t0:(Option.value t0 ~default:neg_infinity)
+                  ~t1:(Option.value t1 ~default:infinity);
+              ]);
+        ]
+    in
+    let q = List.fold_left Query.( &&& ) Query.all conjuncts in
+    let hits = Query.run q entries in
+    if count_only then Printf.printf "%d\n" (List.length hits)
+    else begin
+      List.iteri
+        (fun i (e : Recorder.entry) ->
+          if i < limit then
+            Printf.printf "[%10.4f] %-8s %s\n" e.Recorder.time
+              (Event.component e.Recorder.event)
+              (Event.render e.Recorder.event))
+        hits;
+      if List.length hits > limit then
+        Printf.printf "... (%d more entries)\n" (List.length hits - limit)
+    end
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Run a seed campaign or replay a corpus repro with full recording \
+          and filter the typed event stream by process, node, view id, \
+          message id, event type, component and time window (criteria are \
+          ANDed; repeats of one criterion are ORed).")
+    Term.(
+      const run $ seed_arg $ nodes_arg $ evs_arg $ replay_arg $ procs $ nodes_f
+      $ vids $ msgs $ types $ comps $ t0 $ t1 $ count_only $ limit)
 
 (* ---------- trace ---------- *)
 
@@ -356,36 +600,8 @@ let trace_cmd =
              Perfetto / chrome://tracing), $(b,summary) (derived metrics \
              tables).")
   in
-  let replay =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "replay" ] ~docv:"FILE"
-          ~doc:
-            "Trace a corpus repro artifact instead of a generated seed \
-             campaign.")
-  in
-  let evs =
-    Arg.(
-      value & flag
-      & info [ "evs" ]
-          ~doc:"Generate an EVS campaign from the seed (default plain VS).")
-  in
   let run seed nodes format replay components limit evs =
-    let spec =
-      match replay with
-      | Some file -> (
-          match Repro.load file with
-          | Error msg ->
-              Printf.eprintf "cannot load %s: %s\n" file msg;
-              exit 2
-          | Ok spec -> spec)
-      | None ->
-          let protocol =
-            if evs then Vs_harness.Driver.Evs else Vs_harness.Driver.Vsync
-          in
-          Campaign.generate ~protocol ~seed ~nodes ~quick:false ()
-    in
+    let spec = spec_of ~seed ~nodes ~evs ~replay in
     (* Full level: the exporters want the per-message traffic too. *)
     let obs = Recorder.create ~level:Recorder.Full () in
     let outcome = Campaign.run ~obs spec in
@@ -425,8 +641,8 @@ let trace_cmd =
           and export the typed event stream (text, JSONL, Chrome trace_event \
           for Perfetto, or a metrics summary).")
     Term.(
-      const run $ seed_arg $ nodes_arg $ format $ replay $ components $ limit
-      $ evs)
+      const run $ seed_arg $ nodes_arg $ format $ replay_arg $ components
+      $ limit $ evs_arg)
 
 (* ---------- lint ---------- *)
 
@@ -485,4 +701,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ experiment_cmd; campaign_cmd; check_cmd; trace_cmd; lint_cmd ]))
+          [
+            experiment_cmd; campaign_cmd; check_cmd; explain_cmd; query_cmd;
+            trace_cmd; lint_cmd;
+          ]))

@@ -94,6 +94,7 @@ let generate ?protocol ~seed ~nodes ~quick () =
 
 type outcome = Driver.outcome = {
   violations : string list;
+  verdicts : Vs_obs.Explain.violation list;
   deliveries : int;
   installs : int;
   distinct_views : int;

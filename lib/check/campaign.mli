@@ -52,6 +52,7 @@ val generate :
 
 type outcome = Driver.outcome = {
   violations : string list;
+  verdicts : Vs_obs.Explain.violation list;
   deliveries : int;
   installs : int;
   distinct_views : int;

@@ -24,7 +24,8 @@ type 'ann evs_ann = {
 
 type ('a, 'ann) net = (('a wire, 'ann evs_ann) Wire.t) Net.t
 
-let make_net ?(payload_size = fun _ -> 8) ?(ann_size = fun _ -> 8) sim config =
+let make_net ?(payload_size = fun _ -> 8) ?(ann_size = fun _ -> 8)
+    ?(ident = fun _ -> None) sim config =
   let id_size = 8 in
   let wire_size = function
     | App a -> payload_size a
@@ -37,9 +38,15 @@ let make_net ?(payload_size = fun _ -> 8) ?(ann_size = fun _ -> 8) sim config =
     + (12 * List.length (E_view.members a.ea_snapshot))
     + match a.ea_app with Some x -> ann_size x | None -> 0
   in
+  let wire_ident = function
+    | App a | Scoped { payload = a; _ } -> ident a
+    | Ctl _ -> None
+  in
   Net.create
     ~size_of:(Wire.size_of ~user:wire_size ~ann:evs_ann_size)
-    ~describe:Wire.kind sim config
+    ~describe:Wire.kind
+    ~ident:(Wire.ident ~user:wire_ident)
+    sim config
 
 type cause =
   | View_change

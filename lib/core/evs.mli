@@ -35,10 +35,13 @@ type ('a, 'ann) net = (('a wire, 'ann evs_ann) Vs_vsync.Wire.t) Vs_net.Net.t
 val make_net :
   ?payload_size:('a -> int) ->
   ?ann_size:('ann -> int) ->
+  ?ident:('a -> Vs_obs.Event.msg option) ->
   Vs_sim.Sim.t ->
   Vs_net.Net.config ->
   ('a, 'ann) net
-(** Convenience constructor threading byte-accounting through the wrappers. *)
+(** Convenience constructor threading byte-accounting — and, via [?ident],
+    the (origin, seq) correlation identity of application payloads — through
+    the EVS wire wrappers. *)
 
 type cause =
   | View_change       (** a new view was installed *)

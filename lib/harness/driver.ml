@@ -22,6 +22,7 @@ type traffic = { tr_start : float; tr_until : float; tr_gap : float }
 
 type outcome = {
   violations : string list;
+  verdicts : Vs_obs.Explain.violation list;
   deliveries : int;
   installs : int;
   distinct_views : int;
@@ -29,6 +30,11 @@ type outcome = {
   events : int;
   stable : bool;
 }
+
+(* EVS harness checks return plain strings; wrap them so the explain layer
+   can still attribute them to a property class. *)
+let wrap_verdict property detail =
+  { Vs_obs.Explain.property; msg = None; procs = []; vids = []; detail }
 
 (* EVS counterpart of Vsync_cluster.stable_view_reached: every live handle
    installed the same view, that view covers exactly the live nodes, and
@@ -66,20 +72,29 @@ let evs_structural_violations ~n c =
           r.Evs_cluster.er_time
       in
       let ev = r.Evs_cluster.er_eview in
+      let mk detail =
+        {
+          Vs_obs.Explain.property = Vs_obs.Explain.Evs_invariant;
+          msg = None;
+          procs = [ Proc_id.to_obs r.Evs_cluster.er_proc ];
+          vids = [ View.Id.to_obs ev.E_view.view.View.id ];
+          detail;
+        }
+      in
       let structural =
         match E_view.validate ev with
         | Ok () -> []
         | Error e ->
-            [ Printf.sprintf "e-view invariant (%s): %s in %s" where e
-                (E_view.to_string ev) ]
+            [ mk (Printf.sprintf "e-view invariant (%s): %s in %s" where e
+                    (E_view.to_string ev)) ]
       in
       let verdict = Classify.enriched ~eview:ev ~would_serve_all:quorum () in
       let classify =
         if Classify.well_formed verdict then []
         else
-          [ Printf.sprintf "classify not well-formed (%s): %s on %s" where
-              (Classify.problem_to_string verdict)
-              (E_view.to_string ev) ]
+          [ mk (Printf.sprintf "classify not well-formed (%s): %s on %s" where
+                  (Classify.problem_to_string verdict)
+                  (E_view.to_string ev)) ]
       in
       structural @ classify)
     (Evs_cluster.eview_records c)
@@ -101,8 +116,12 @@ let run_schedule ?traffic ?obs setup ~script ~until =
       pump Vsync_cluster.pump_traffic c;
       Vsync_cluster.run c ~until;
       let o = Vsync_cluster.oracle c in
+      let verdicts =
+        List.map Oracle.to_obs_violation (Oracle.all_violations o)
+      in
       {
-        violations = Oracle.check_all o;
+        violations = List.map (fun v -> v.Vs_obs.Explain.detail) verdicts;
+        verdicts;
         deliveries = Oracle.total_deliveries o;
         installs = Oracle.total_installs o;
         distinct_views = Oracle.distinct_views o;
@@ -119,12 +138,19 @@ let run_schedule ?traffic ?obs setup ~script ~until =
       pump Evs_cluster.pump_traffic c;
       Evs_cluster.run c ~until;
       let o = Evs_cluster.oracle c in
+      let verdicts =
+        List.map Oracle.to_obs_violation (Oracle.all_violations o)
+        @ List.map
+            (wrap_verdict Vs_obs.Explain.Evs_total_order)
+            (Evs_cluster.check_total_order c)
+        @ List.map
+            (wrap_verdict Vs_obs.Explain.Evs_structure)
+            (Evs_cluster.check_structure c)
+        @ evs_structural_violations ~n:setup.n c
+      in
       {
-        violations =
-          Oracle.check_all o
-          @ Evs_cluster.check_total_order c
-          @ Evs_cluster.check_structure c
-          @ evs_structural_violations ~n:setup.n c;
+        violations = List.map (fun v -> v.Vs_obs.Explain.detail) verdicts;
+        verdicts;
         deliveries = Oracle.total_deliveries o;
         installs = Oracle.total_installs o;
         distinct_views = Oracle.distinct_views o;

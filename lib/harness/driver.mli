@@ -34,7 +34,11 @@ type traffic = {
 
 type outcome = {
   violations : string list;
-      (** every failed property check, human-readable; [] = clean run *)
+      (** every failed property check, human-readable; [] = clean run.
+          Always [List.map (fun v -> v.detail) verdicts]. *)
+  verdicts : Vs_obs.Explain.violation list;
+      (** the same verdicts, structured: which property, which message,
+          which processes, which views — what {!Vs_obs.Explain} consumes *)
   deliveries : int;
   installs : int;
   distinct_views : int;

@@ -91,7 +91,11 @@ let boot t node =
 let create ?(seed = 1L) ?obs ?(net_config = Net.default_config)
     ?(config = Endpoint.default_config) ~n () =
   let sim = Sim.create ~seed ?obs () in
-  let net : (Oracle.msg_id, unit) Evs.net = Evs.make_net sim net_config in
+  let net : (Oracle.msg_id, unit) Evs.net =
+    Evs.make_net
+      ~ident:(fun (m : Oracle.msg_id) -> Some (Oracle.msg_id_to_obs m))
+      sim net_config
+  in
   let universe = List.init n (fun i -> i) in
   let t =
     {

@@ -13,6 +13,31 @@ let compare_msg_id a b =
   | 0 -> Int.compare a.m_index b.m_index
   | c -> c
 
+let msg_id_to_obs m =
+  { Vs_obs.Event.origin = Proc_id.to_obs m.m_sender; mseq = m.m_index }
+
+(* Structured verdicts: the property that broke plus the protocol-typed
+   identities the verdict names.  [v_detail] is the legacy one-line string;
+   [check_*] project it out so existing reporting is unchanged. *)
+type violation = {
+  v_property : Vs_obs.Explain.property;
+  v_msg : msg_id option;
+  v_procs : Proc_id.t list;
+  v_vids : View.Id.t list;
+  v_detail : string;
+}
+
+let to_obs_violation v =
+  {
+    Vs_obs.Explain.property = v.v_property;
+    msg = Option.map msg_id_to_obs v.v_msg;
+    procs = List.map Proc_id.to_obs v.v_procs;
+    vids = List.map View.Id.to_obs v.v_vids;
+    detail = v.v_detail;
+  }
+
+let details vs = List.map (fun v -> v.v_detail) vs
+
 type t = {
   sends : (msg_id, [ `Fifo | `Total ]) Hashtbl.t;
   deliveries : (Proc_id.t, (View.Id.t * msg_id * float) list ref) Hashtbl.t;
@@ -89,7 +114,7 @@ let delivered_in_view t ~proc ~vid =
 (* Property 2.1.  Group processes by (prior view, next view) transitions;
    all members of a group must have identical delivery sets in the prior
    view. *)
-let check_agreement t =
+let agreement_violations t =
   let transitions =
     List.concat_map
       (fun p ->
@@ -113,19 +138,31 @@ let check_agreement t =
               let mine = delivered_in_view t ~proc:p ~vid:prior in
               if Listx.equal_set ~cmp:compare_msg_id mine reference then []
               else
+                let missing =
+                  Listx.diff ~cmp:compare_msg_id reference mine
+                  @ Listx.diff ~cmp:compare_msg_id mine reference
+                in
                 [
-                  Printf.sprintf
-                    "agreement: %s and %s survived %s -> %s with different \
-                     delivery sets (%d vs %d messages)"
-                    (Proc_id.to_string first) (Proc_id.to_string p)
-                    (View.Id.to_string prior) (View.Id.to_string next)
-                    (List.length reference) (List.length mine);
+                  {
+                    v_property = Vs_obs.Explain.Agreement;
+                    v_msg =
+                      (match missing with m :: _ -> Some m | [] -> None);
+                    v_procs = [ first; p ];
+                    v_vids = [ prior; next ];
+                    v_detail =
+                      Printf.sprintf
+                        "agreement: %s and %s survived %s -> %s with \
+                         different delivery sets (%d vs %d messages)"
+                        (Proc_id.to_string first) (Proc_id.to_string p)
+                        (View.Id.to_string prior) (View.Id.to_string next)
+                        (List.length reference) (List.length mine);
+                  };
                 ])
             rest)
     groups
 
 (* Property 2.2: each message delivered in at most one view, globally. *)
-let check_uniqueness t =
+let uniqueness_violations t =
   let table = Hashtbl.create 256 in
   List.iter
     (fun p ->
@@ -141,24 +178,50 @@ let check_uniqueness t =
   Hashtblx.sorted_bindings ~cmp:compare_msg_id table
   |> List.filter_map (fun (m, vids) ->
          if List.length vids > 1 then
+           let deliverers =
+             List.filter
+               (fun p ->
+                 List.exists
+                   (fun (_, m') -> compare_msg_id m m' = 0)
+                   (deliveries_of t ~proc:p))
+               (procs t)
+           in
            Some
-             (Printf.sprintf "uniqueness: %s delivered in %d distinct views: %s"
-                (msg_id_to_string m) (List.length vids)
-                (String.concat "," (List.map View.Id.to_string vids)))
+             {
+               v_property = Vs_obs.Explain.Uniqueness;
+               v_msg = Some m;
+               v_procs = deliverers;
+               v_vids = vids;
+               v_detail =
+                 Printf.sprintf
+                   "uniqueness: %s delivered in %d distinct views: %s"
+                   (msg_id_to_string m) (List.length vids)
+                   (String.concat "," (List.map View.Id.to_string vids));
+             }
          else None)
 
 (* Property 2.3: at-most-once per process, only actually-sent messages. *)
-let check_integrity t =
+let integrity_violations t =
   List.concat_map
     (fun p ->
       let seen = Hashtbl.create 64 in
       List.concat_map
-        (fun (_, m) ->
+        (fun (vid, m) ->
+          let mk detail =
+            {
+              v_property = Vs_obs.Explain.Integrity;
+              v_msg = Some m;
+              v_procs = [ p ];
+              v_vids = [ vid ];
+              v_detail = detail;
+            }
+          in
           let dup =
             if Hashtbl.mem seen m then
               [
-                Printf.sprintf "integrity: %s delivered %s more than once"
-                  (Proc_id.to_string p) (msg_id_to_string m);
+                mk
+                  (Printf.sprintf "integrity: %s delivered %s more than once"
+                     (Proc_id.to_string p) (msg_id_to_string m));
               ]
             else []
           in
@@ -167,8 +230,9 @@ let check_integrity t =
             if Hashtbl.mem t.sends m then []
             else
               [
-                Printf.sprintf "integrity: %s delivered phantom message %s"
-                  (Proc_id.to_string p) (msg_id_to_string m);
+                mk
+                  (Printf.sprintf "integrity: %s delivered phantom message %s"
+                     (Proc_id.to_string p) (msg_id_to_string m));
               ]
           in
           dup @ phantom)
@@ -179,7 +243,7 @@ let check_integrity t =
    reach each process in strictly increasing order (gaps allowed —
    inversions never).  Totally-ordered messages are sequenced through the
    coordinator's stream and are exempt. *)
-let check_fifo t =
+let fifo_violations t =
   let is_fifo m =
     match Hashtbl.find_opt t.sends m with
     | Some `Fifo | None -> true
@@ -189,7 +253,7 @@ let check_fifo t =
     (fun p ->
       let last = Hashtbl.create 16 in
       List.concat_map
-        (fun (_, m) ->
+        (fun (vid, m) ->
           if not (is_fifo m) then []
           else begin
             let prev =
@@ -198,8 +262,15 @@ let check_fifo t =
             Hashtbl.replace last m.m_sender m.m_index;
             if m.m_index <= prev then
               [
-                Printf.sprintf "fifo: %s delivered %s after index %d"
-                  (Proc_id.to_string p) (msg_id_to_string m) prev;
+                {
+                  v_property = Vs_obs.Explain.Fifo;
+                  v_msg = Some m;
+                  v_procs = [ p ];
+                  v_vids = [ vid ];
+                  v_detail =
+                    Printf.sprintf "fifo: %s delivered %s after index %d"
+                      (Proc_id.to_string p) (msg_id_to_string m) prev;
+                };
               ]
             else []
           end)
@@ -209,7 +280,7 @@ let check_fifo t =
 (* Totally-ordered messages delivered within one view must reach every
    receiver in a single consistent relative order: for any two processes,
    the common subsequences agree. *)
-let check_total_order_messages t =
+let total_order_violations t =
   let is_total m =
     match Hashtbl.find_opt t.sends m with Some `Total -> true | _ -> false
   in
@@ -262,11 +333,18 @@ let check_total_order_messages t =
                 if increasing projected_q then []
                 else
                   [
-                    Printf.sprintf
-                      "total-order: %s and %s deliver totally-ordered \
-                       messages of %s in different orders"
-                      (Proc_id.to_string p) (Proc_id.to_string q)
-                      (View.Id.to_string vid);
+                    {
+                      v_property = Vs_obs.Explain.Total_order;
+                      v_msg = (match common with (m, _) :: _ -> Some m | [] -> None);
+                      v_procs = [ p; q ];
+                      v_vids = [ vid ];
+                      v_detail =
+                        Printf.sprintf
+                          "total-order: %s and %s deliver totally-ordered \
+                           messages of %s in different orders"
+                          (Proc_id.to_string p) (Proc_id.to_string q)
+                          (View.Id.to_string vid);
+                    };
                   ])
               rest
             @ pairs rest
@@ -274,15 +352,27 @@ let check_total_order_messages t =
       pairs per_proc)
     vids
 
-let check_all t =
-  check_agreement t @ check_uniqueness t @ check_integrity t @ check_fifo t
-  @ check_total_order_messages t
+let check_agreement t = details (agreement_violations t)
+
+let check_uniqueness t = details (uniqueness_violations t)
+
+let check_integrity t = details (integrity_violations t)
+
+let check_fifo t = details (fifo_violations t)
+
+let check_total_order_messages t = details (total_order_violations t)
+
+let all_violations t =
+  agreement_violations t @ uniqueness_violations t @ integrity_violations t
+  @ fifo_violations t @ total_order_violations t
+
+let check_all t = details (all_violations t)
 
 let check_summary t =
   [
-    ("agreement", List.length (check_agreement t));
-    ("uniqueness", List.length (check_uniqueness t));
-    ("integrity", List.length (check_integrity t));
-    ("fifo", List.length (check_fifo t));
-    ("total-order", List.length (check_total_order_messages t));
+    ("agreement", List.length (agreement_violations t));
+    ("uniqueness", List.length (uniqueness_violations t));
+    ("integrity", List.length (integrity_violations t));
+    ("fifo", List.length (fifo_violations t));
+    ("total-order", List.length (total_order_violations t));
   ]

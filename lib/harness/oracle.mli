@@ -14,6 +14,23 @@ type msg_id = { m_sender : Proc_id.t; m_index : int }
 
 val msg_id_to_string : msg_id -> string
 
+val msg_id_to_obs : msg_id -> Vs_obs.Event.msg
+(** The same (origin, seq) identity in the observability mirror — what the
+    clusters thread into [Net]'s [?ident] hook, so oracle verdicts and
+    data-path events correlate exactly. *)
+
+type violation = {
+  v_property : Vs_obs.Explain.property;
+  v_msg : msg_id option;  (** the offending message, when one exists *)
+  v_procs : Proc_id.t list;
+  v_vids : View.Id.t list;
+  v_detail : string;  (** the legacy one-line verdict *)
+}
+(** A structured verdict: which property broke and the identities it names.
+    The [check_*] functions below project out [v_detail]. *)
+
+val to_obs_violation : violation -> Vs_obs.Explain.violation
+
 type t
 
 val create : unit -> t
@@ -58,6 +75,22 @@ val check_total_order_messages : t -> string list
     their receivers in one consistent relative order. *)
 
 val check_all : t -> string list
+
+(** {2 Structured variants — same checks, full identities} *)
+
+val agreement_violations : t -> violation list
+
+val uniqueness_violations : t -> violation list
+
+val integrity_violations : t -> violation list
+
+val fifo_violations : t -> violation list
+
+val total_order_violations : t -> violation list
+
+val all_violations : t -> violation list
+(** Concatenation in the [check_all] order, so
+    [List.map (fun v -> v.v_detail) (all_violations t) = check_all t]. *)
 
 val check_summary : t -> (string * int) list
 (** Violation counts per property, in the order agreement, uniqueness,

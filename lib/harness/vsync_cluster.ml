@@ -72,7 +72,13 @@ let create ?(seed = 1L) ?obs ?(net_config = Net.default_config)
   let size_of =
     Vs_vsync.Wire.size_of ~user:(fun (_ : Oracle.msg_id) -> 8) ~ann:(fun () -> 8)
   in
-  let net = Net.create ~size_of ~describe:Vs_vsync.Wire.kind sim net_config in
+  let ident =
+    Vs_vsync.Wire.ident ~user:(fun (m : Oracle.msg_id) ->
+        Some (Oracle.msg_id_to_obs m))
+  in
+  let net =
+    Net.create ~size_of ~describe:Vs_vsync.Wire.kind ~ident sim net_config
+  in
   let universe = List.init n (fun i -> i) in
   let t =
     {

@@ -40,6 +40,7 @@ type 'm t = {
   config : config;
   size_of : 'm -> int;
   describe : 'm -> string;
+  ident : 'm -> Event.msg option;
   handlers : (Proc_id.t, 'm envelope -> unit) Hashtbl.t;
   node_live : (int, Proc_id.t) Hashtbl.t; (* node -> live incarnation *)
   node_next_inc : (int, int) Hashtbl.t;   (* node -> next unused incarnation *)
@@ -51,7 +52,8 @@ type 'm t = {
   mutable bytes_sent : int;
 }
 
-let create ?(size_of = fun _ -> 1) ?(describe = fun _ -> "msg") sim config =
+let create ?(size_of = fun _ -> 1) ?(describe = fun _ -> "msg")
+    ?(ident = fun _ -> None) sim config =
   if config.delay_min < 0. || config.delay_max < config.delay_min then
     invalid_arg "Net.create: bad delay bounds";
   {
@@ -60,6 +62,7 @@ let create ?(size_of = fun _ -> 1) ?(describe = fun _ -> "msg") sim config =
     config;
     size_of;
     describe;
+    ident;
     handlers = Hashtbl.create 64;
     node_live = Hashtbl.create 64;
     node_next_inc = Hashtbl.create 64;
@@ -140,6 +143,7 @@ let emit_drop t ~src ~dst ~payload ~reason =
            dst = Proc_id.to_obs dst;
            kind = t.describe payload;
            reason;
+           msg = t.ident payload;
          })
 
 (* Delivery is re-checked at arrival time: the destination incarnation must
@@ -159,12 +163,13 @@ let deliver_later ?(extra_copy = false) t env =
                  src = Proc_id.to_obs env.src;
                  dst = Proc_id.to_obs env.dst;
                  kind = t.describe env.payload;
+                 msg = t.ident env.payload;
                });
         handler env
     | Some _ ->
         t.dropped <- t.dropped + 1;
         emit_drop t ~src:env.src ~dst:env.dst ~payload:env.payload
-          ~reason:"partition"
+          ~reason:"partition-inflight"
     | None ->
         t.dropped <- t.dropped + 1;
         emit_drop t ~src:env.src ~dst:env.dst ~payload:env.payload
@@ -180,6 +185,7 @@ let deliver_later ?(extra_copy = false) t env =
              src = Proc_id.to_obs env.src;
              dst = Proc_id.to_obs env.dst;
              kind = t.describe env.payload;
+             msg = t.ident env.payload;
            });
     ignore (Sim.after t.sim (sample_delay t ~bytes) deliver)
   end
@@ -210,6 +216,7 @@ let send_to t ~src ~dst payload =
              dst = Proc_id.to_obs dst;
              kind = t.describe payload;
              bytes = t.size_of payload;
+             msg = t.ident payload;
            });
     let env = { src; dst; sent_at = Sim.now t.sim; payload } in
     let extra_copy = (not self) && Rng.bool t.rng t.config.dup_prob in
@@ -236,6 +243,7 @@ let send_node t ~src ~dst_node payload =
              dst = node_dst ();
              kind = t.describe payload;
              reason;
+             msg = t.ident payload;
            })
   in
   if not (is_live t src) then begin
@@ -264,6 +272,7 @@ let send_node t ~src ~dst_node payload =
              dst = node_dst ();
              kind = t.describe payload;
              bytes;
+             msg = t.ident payload;
            });
     let deliver () =
       match live_on_node t dst_node with
@@ -278,6 +287,7 @@ let send_node t ~src ~dst_node payload =
                        src = Proc_id.to_obs src;
                        dst = Proc_id.to_obs dst;
                        kind = t.describe payload;
+                       msg = t.ident payload;
                      });
               handler { src; dst; sent_at; payload }
           | None ->
@@ -285,7 +295,7 @@ let send_node t ~src ~dst_node payload =
               emit_node_drop "dst-dead")
       | Some _ ->
           t.dropped <- t.dropped + 1;
-          emit_node_drop "partition"
+          emit_node_drop "partition-inflight"
       | None ->
           t.dropped <- t.dropped + 1;
           emit_node_drop "dst-dead"
@@ -301,6 +311,7 @@ let send_node t ~src ~dst_node payload =
                src = Proc_id.to_obs src;
                dst = node_dst ();
                kind = t.describe payload;
+               msg = t.ident payload;
              });
       ignore (Sim.after t.sim (sample_delay t ~bytes) deliver)
     end

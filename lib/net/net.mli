@@ -36,12 +36,16 @@ val default_config : config
 val create :
   ?size_of:('m -> int) ->
   ?describe:('m -> string) ->
+  ?ident:('m -> Vs_obs.Event.msg option) ->
   Vs_sim.Sim.t ->
   config ->
   'm t
 (** [?describe] names a payload's message kind for Full-level observability
     events (default ["msg"]); it is never called unless the run records at
-    [Full] level. *)
+    [Full] level.  [?ident] extracts the stable (origin, seq) correlation
+    identity of the application message a payload carries, if any (default
+    [fun _ -> None]); like [describe] it is only called under [Full]
+    recording, so the off-path send cost is unchanged. *)
 (** [size_of] gives a nominal byte size per payload for traffic accounting
     (defaults to 1 per message). *)
 

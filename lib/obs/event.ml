@@ -47,11 +47,52 @@ let vid_of_string s =
         | Some epoch, Some proposer -> Some { epoch; proposer }
         | _ -> None)
 
+type msg = { origin : proc; mseq : int }
+
+let msg_to_string m = Printf.sprintf "%s#%d" (proc_to_string m.origin) m.mseq
+
+let msg_of_string s =
+  match String.index_opt s '#' with
+  | None -> None
+  | Some i -> (
+      let proc_s = String.sub s 0 i in
+      let seq_s = String.sub s (i + 1) (String.length s - i - 1) in
+      match (proc_of_string proc_s, int_of_string_opt seq_s) with
+      | Some origin, Some mseq when mseq >= 0 -> Some { origin; mseq }
+      | _ -> None)
+
+let compare_proc a b =
+  match Int.compare a.node b.node with
+  | 0 -> Int.compare a.inc b.inc
+  | c -> c
+
+let compare_vid a b =
+  match Int.compare a.epoch b.epoch with
+  | 0 -> compare_proc a.proposer b.proposer
+  | c -> c
+
+let compare_msg a b =
+  match compare_proc a.origin b.origin with
+  | 0 -> Int.compare a.mseq b.mseq
+  | c -> c
+
 type t =
-  | Send of { src : proc; dst : proc; kind : string; bytes : int }
-  | Recv of { src : proc; dst : proc; kind : string }
-  | Drop of { src : proc; dst : proc; kind : string; reason : string }
-  | Dup of { src : proc; dst : proc; kind : string }
+  | Send of {
+      src : proc;
+      dst : proc;
+      kind : string;
+      bytes : int;
+      msg : msg option;
+    }
+  | Recv of { src : proc; dst : proc; kind : string; msg : msg option }
+  | Drop of {
+      src : proc;
+      dst : proc;
+      kind : string;
+      reason : string;
+      msg : msg option;
+    }
+  | Dup of { src : proc; dst : proc; kind : string; msg : msg option }
   | Retransmit of { proc : proc; origin : proc; count : int; peer : bool }
   | Backoff of { proc : proc; dst : proc; attempt : int; delay : float }
   | Suspect of { proc : proc; peer : proc }
@@ -129,19 +170,24 @@ let all_type_names =
 
 let members_to_string ms = String.concat "," (List.map proc_to_string ms)
 
+(* " [p0#3]" when the payload carries a correlation identity, "" otherwise. *)
+let msg_suffix = function
+  | None -> ""
+  | Some m -> " [" ^ msg_to_string m ^ "]"
+
 let render = function
-  | Send { src; dst; kind; bytes } ->
-      Printf.sprintf "send %s -> %s %s (%dB)" (proc_to_string src)
-        (proc_to_string dst) kind bytes
-  | Recv { src; dst; kind } ->
-      Printf.sprintf "recv %s -> %s %s" (proc_to_string src)
-        (proc_to_string dst) kind
-  | Drop { src; dst; kind; reason } ->
-      Printf.sprintf "drop %s -> %s %s (%s)" (proc_to_string src)
-        (proc_to_string dst) kind reason
-  | Dup { src; dst; kind } ->
-      Printf.sprintf "dup %s -> %s %s" (proc_to_string src)
-        (proc_to_string dst) kind
+  | Send { src; dst; kind; bytes; msg } ->
+      Printf.sprintf "send %s -> %s %s (%dB)%s" (proc_to_string src)
+        (proc_to_string dst) kind bytes (msg_suffix msg)
+  | Recv { src; dst; kind; msg } ->
+      Printf.sprintf "recv %s -> %s %s%s" (proc_to_string src)
+        (proc_to_string dst) kind (msg_suffix msg)
+  | Drop { src; dst; kind; reason; msg } ->
+      Printf.sprintf "drop %s -> %s %s (%s)%s" (proc_to_string src)
+        (proc_to_string dst) kind reason (msg_suffix msg)
+  | Dup { src; dst; kind; msg } ->
+      Printf.sprintf "dup %s -> %s %s%s" (proc_to_string src)
+        (proc_to_string dst) kind (msg_suffix msg)
   | Retransmit { proc; origin; count; peer } ->
       Printf.sprintf "%s retransmit %d of %s's stream%s" (proc_to_string proc)
         count (proc_to_string origin)
@@ -189,3 +235,38 @@ let render = function
               components))
   | Heal -> "heal"
   | Note { message; _ } -> message
+
+(* Structural accessors for the read side (query / lineage / explain): every
+   process, view and message identity an event mentions, in the order the
+   payload states them. *)
+
+let procs = function
+  | Send { src; dst; _ } | Recv { src; dst; _ } | Drop { src; dst; _ }
+  | Dup { src; dst; _ } ->
+      [ src; dst ]
+  | Retransmit { proc; origin; _ } -> [ proc; origin ]
+  | Backoff { proc; dst; _ } -> [ proc; dst ]
+  | Suspect { proc; peer } | Unsuspect { proc; peer } -> [ proc; peer ]
+  | Propose { proc; members; _ } | Install { proc; members; _ } ->
+      proc :: members
+  | Flush { proc; _ } | Eview { proc; _ } | Mode_change { proc; _ }
+  | Settle { proc; _ } | Task_start { proc; _ } | Task_done { proc; _ }
+  | Crash { proc } ->
+      [ proc ]
+  | Partition _ | Heal | Note _ -> []
+
+let vids = function
+  | Propose { vid; _ } | Flush { vid; _ } | Install { vid; _ }
+  | Eview { vid; _ } | Settle { vid; _ } | Task_start { vid; _ }
+  | Task_done { vid; _ } ->
+      [ vid ]
+  | Send _ | Recv _ | Drop _ | Dup _ | Retransmit _ | Backoff _ | Suspect _
+  | Unsuspect _ | Mode_change _ | Crash _ | Partition _ | Heal | Note _ ->
+      []
+
+let msg_of = function
+  | Send { msg; _ } | Recv { msg; _ } | Drop { msg; _ } | Dup { msg; _ } -> msg
+  | Retransmit _ | Backoff _ | Suspect _ | Unsuspect _ | Propose _ | Flush _
+  | Install _ | Eview _ | Mode_change _ | Settle _ | Task_start _
+  | Task_done _ | Crash _ | Partition _ | Heal | Note _ ->
+      None

@@ -24,13 +24,46 @@ val vid_to_string : vid -> string
 
 val vid_of_string : string -> vid option
 
+type msg = { origin : proc; mseq : int }
+(** Stable correlation identity of an application message: the original
+    sender and its per-sender multicast index — the (origin, seq) pair the
+    oracle also keys on.  Carried by data-path events whose payload wraps an
+    application message, so one message can be followed through relays,
+    retries, drops and duplicates. *)
+
+val msg_to_string : msg -> string
+(** ["p0#3"]. *)
+
+val msg_of_string : string -> msg option
+
+val compare_proc : proc -> proc -> int
+
+val compare_vid : vid -> vid -> int
+
+val compare_msg : msg -> msg -> int
+
 type t =
-  | Send of { src : proc; dst : proc; kind : string; bytes : int }
-  | Recv of { src : proc; dst : proc; kind : string }
-  | Drop of { src : proc; dst : proc; kind : string; reason : string }
+  | Send of {
+      src : proc;
+      dst : proc;
+      kind : string;
+      bytes : int;
+      msg : msg option;
+    }
+  | Recv of { src : proc; dst : proc; kind : string; msg : msg option }
+  | Drop of {
+      src : proc;
+      dst : proc;
+      kind : string;
+      reason : string;
+      msg : msg option;
+    }
       (** [reason] is one of ["src-dead"], ["dst-dead"], ["partition"],
-          ["loss"]. *)
-  | Dup of { src : proc; dst : proc; kind : string }
+          ["loss"] (all decided at send time) or ["partition-inflight"],
+          ["dst-dead"] at arrival time — a message already on the wire killed
+          by a partition installed, or a crash happening, while it was in
+          flight. *)
+  | Dup of { src : proc; dst : proc; kind : string; msg : msg option }
   | Retransmit of { proc : proc; origin : proc; count : int; peer : bool }
       (** [proc] re-sent [count] messages of [origin]'s stream; [peer] when
           served by a peer rather than the original sender. *)
@@ -92,3 +125,18 @@ val all_type_names : string list
 
 val render : t -> string
 (** Human-readable one-liner (no timestamp/component prefix). *)
+
+(** {2 Structural accessors}
+
+    Used by the read side ([Query] / [Lineage] / [Explain]) to slice a stream
+    without matching on every variant. *)
+
+val procs : t -> proc list
+(** Every process the event mentions, in payload order (members included for
+    [Propose]/[Install]). *)
+
+val vids : t -> vid list
+(** Every view identifier the event mentions. *)
+
+val msg_of : t -> msg option
+(** The correlation identity, for the data-path events that carry one. *)

@@ -8,23 +8,37 @@ let vid_json v = Json.Str (Event.vid_to_string v)
 
 let members_json ms = Json.Arr (List.map proc_json ms)
 
+(* The optional correlation identity always renders last, and only when
+   present, so pre-identity streams stay byte-identical. *)
+let with_msg fields = function
+  | None -> fields
+  | Some m -> fields @ [ ("msg", Json.Str (Event.msg_to_string m)) ]
+
 (* Payload fields, in the fixed order the schema guarantees. *)
 let fields_of_event (ev : Event.t) : (string * Json.t) list =
   match ev with
-  | Send { src; dst; kind; bytes } ->
-      [
-        ("src", proc_json src); ("dst", proc_json dst); ("kind", Json.Str kind);
-        ("bytes", Json.Int bytes);
-      ]
-  | Recv { src; dst; kind } ->
-      [ ("src", proc_json src); ("dst", proc_json dst); ("kind", Json.Str kind) ]
-  | Drop { src; dst; kind; reason } ->
-      [
-        ("src", proc_json src); ("dst", proc_json dst); ("kind", Json.Str kind);
-        ("reason", Json.Str reason);
-      ]
-  | Dup { src; dst; kind } ->
-      [ ("src", proc_json src); ("dst", proc_json dst); ("kind", Json.Str kind) ]
+  | Send { src; dst; kind; bytes; msg } ->
+      with_msg
+        [
+          ("src", proc_json src); ("dst", proc_json dst);
+          ("kind", Json.Str kind); ("bytes", Json.Int bytes);
+        ]
+        msg
+  | Recv { src; dst; kind; msg } ->
+      with_msg
+        [ ("src", proc_json src); ("dst", proc_json dst); ("kind", Json.Str kind) ]
+        msg
+  | Drop { src; dst; kind; reason; msg } ->
+      with_msg
+        [
+          ("src", proc_json src); ("dst", proc_json dst);
+          ("kind", Json.Str kind); ("reason", Json.Str reason);
+        ]
+        msg
+  | Dup { src; dst; kind; msg } ->
+      with_msg
+        [ ("src", proc_json src); ("dst", proc_json dst); ("kind", Json.Str kind) ]
+        msg
   | Retransmit { proc; origin; count; peer } ->
       [
         ("proc", proc_json proc); ("origin", proc_json origin);
@@ -121,6 +135,14 @@ let get_vid fields key =
   | Some v -> v
   | None -> raise (Decode ("field " ^ key ^ " not a view id"))
 
+let get_msg_opt fields =
+  match List.assoc_opt "msg" fields with
+  | None -> None
+  | Some j -> (
+      match Option.bind (Json.to_string_opt j) Event.msg_of_string with
+      | Some m -> Some m
+      | None -> raise (Decode "field msg not a message id"))
+
 let get_members fields key =
   match Json.to_list_opt (get fields key) with
   | None -> raise (Decode ("field " ^ key ^ " not a list"))
@@ -142,24 +164,26 @@ let event_of_fields ~type_name ~component fields : Event.t =
         {
           src = get_proc fields "src"; dst = get_proc fields "dst";
           kind = get_str fields "kind"; bytes = get_int fields "bytes";
+          msg = get_msg_opt fields;
         }
   | "recv" ->
       Recv
         {
           src = get_proc fields "src"; dst = get_proc fields "dst";
-          kind = get_str fields "kind";
+          kind = get_str fields "kind"; msg = get_msg_opt fields;
         }
   | "drop" ->
       Drop
         {
           src = get_proc fields "src"; dst = get_proc fields "dst";
           kind = get_str fields "kind"; reason = get_str fields "reason";
+          msg = get_msg_opt fields;
         }
   | "dup" ->
       Dup
         {
           src = get_proc fields "src"; dst = get_proc fields "dst";
-          kind = get_str fields "kind";
+          kind = get_str fields "kind"; msg = get_msg_opt fields;
         }
   | "retransmit" ->
       Retransmit

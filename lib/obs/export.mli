@@ -10,6 +10,10 @@
       and flush->install windows as complete spans.  Loads in Perfetto or
       chrome://tracing. *)
 
+val fields_of_event : Event.t -> (string * Json.t) list
+(** The payload fields of one event, in the fixed schema order (no
+    [t]/[c]/[ev] envelope) — reused by {!Explain} to embed slices. *)
+
 val jsonl_of_entry : Recorder.entry -> string
 (** One line, no trailing newline. *)
 

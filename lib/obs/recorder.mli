@@ -15,13 +15,21 @@ type level =
 val level_to_string : level -> string
 
 val level_of_string : string -> level option
+(** Case-insensitive: ["Full"], ["FULL"] and ["full"] all parse. *)
+
+val all_level_names : string list
+(** The valid spellings, lowercase — for CLI error messages. *)
 
 type entry = { time : float; event : Event.t }
 
 type t
 
-val create : ?level:level -> unit -> t
-(** Defaults to the process-wide {!default_level}. *)
+val create : ?capacity:int -> ?level:level -> unit -> t
+(** Level defaults to the process-wide {!default_level}.  [?capacity] bounds
+    the recorder to a ring buffer retaining only the newest [capacity]
+    entries (raises [Invalid_argument] when [<= 0]); omitted means
+    unbounded.  {!count} always reports the total ever emitted, so
+    [count t > capacity] signals that truncation happened. *)
 
 val level : t -> level
 
@@ -38,14 +46,20 @@ val emit : t -> time:float -> Event.t -> unit
 (** No-op at [Off]. *)
 
 val count : t -> int
+(** Total events ever emitted — including any a bounded recorder has since
+    evicted. *)
+
+val capacity : t -> int option
 
 val entries : t -> entry list
-(** All entries, oldest first.  The chronological list is materialized once
-    per generation and shared by all readers. *)
+(** All retained entries, oldest first.  On a bounded recorder this is at
+    most [capacity] entries — the newest ones; older entries are gone.  The
+    chronological list is materialized once per generation and shared by all
+    readers. *)
 
 val tail : ?limit:int -> t -> entry list
-(** Last [limit] (default 30) entries, oldest first, without materializing
-    the full view. *)
+(** Last [limit] (default 30) retained entries, oldest first, without
+    materializing the full view. *)
 
 val clear : t -> unit
 

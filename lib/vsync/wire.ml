@@ -97,6 +97,23 @@ let rec size_of ~user ~ann = function
       + sync_size + ann_size
       + (2 * id_size * List.length priors)
 
+let body_user = function
+  | User u -> u
+  | Relay { user = u; _ } -> u
+  | Causal { user = u; _ } -> u
+
+(* The single application message a wire message carries, if any — used to
+   thread the (origin, seq) correlation identity into observability events.
+   [Retransmit] batches carry many, so they report none (the typed
+   [Event.Retransmit] covers them); control traffic carries none. *)
+let rec ident ~user = function
+  | Data d -> user (body_user d.body)
+  | To_request { user = u; _ } -> user u
+  | Reliable { payload; _ } -> ident ~user payload
+  | Heartbeat | Leave_announce | Nack _ | Stable_report _ | Retransmit _
+  | Ctl_ack _ | Propose _ | Propose_reject _ | Flush_ack _ | Install _ ->
+      None
+
 let rec kind = function
   | Heartbeat -> "heartbeat"
   | Leave_announce -> "leave"

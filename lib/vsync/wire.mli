@@ -90,3 +90,11 @@ val size_of : user:('a -> int) -> ann:('ann -> int) -> ('a, 'ann) t -> int
 val kind : ('a, 'ann) t -> string
 (** Stable message-kind name for observability ([Reliable] reports its inner
     payload's kind — the wrapper is transport, not protocol). *)
+
+val ident : user:('a -> 'b option) -> ('a, 'ann) t -> 'b option
+(** The identity of the single application message this wire message
+    carries, as extracted from its payload by [user]: [Data] (through
+    [Relay]/[Causal] bodies), [To_request], and [Reliable] recursively;
+    [None] for control traffic and [Retransmit] batches.  Used to thread the
+    (origin, seq) correlation identity into Full-level observability
+    events. *)

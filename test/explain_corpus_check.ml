@@ -1,0 +1,61 @@
+(* dune build @explain-corpus — run the failure-attribution pipeline over
+   every committed corpus repro and assert the output is deterministic:
+   byte-identical across two independent runs, and identical to the
+   committed <name>.explain.txt artifact when one exists.  Regenerate an
+   artifact after an intentional format change with
+     dune exec bin/vscli.exe -- explain --replay test/corpus/<name>.sexp \
+       > test/corpus/<name>.explain.txt *)
+
+module Recorder = Vs_obs.Recorder
+module Campaign = Vs_check.Campaign
+module Repro = Vs_check.Repro
+module Explain_run = Vs_check.Explain_run
+
+let explain_once spec =
+  let obs = Recorder.create ~level:Recorder.Full () in
+  let outcome = Campaign.run ~obs spec in
+  Explain_run.to_text
+    (Explain_run.build ~spec ~outcome ~entries:(Recorder.entries obs))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "corpus" in
+  let entries = Repro.load_dir dir in
+  if entries = [] then begin
+    Printf.eprintf "no corpus artifacts under %s\n" dir;
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun (path, spec) ->
+      match spec with
+      | Error msg ->
+          Printf.eprintf "%s: cannot load: %s\n" path msg;
+          failed := true
+      | Ok spec ->
+          let a = explain_once spec in
+          let b = explain_once spec in
+          if a <> b then begin
+            Printf.eprintf "%s: explanation differs across two runs\n" path;
+            failed := true
+          end
+          else
+            let artifact = Filename.remove_extension path ^ ".explain.txt" in
+            if Sys.file_exists artifact && read_file artifact <> a then begin
+              Printf.eprintf
+                "%s: explanation drifted from committed %s — regenerate it \
+                 with: dune exec bin/vscli.exe -- explain --replay %s > %s\n"
+                path artifact path artifact;
+              failed := true
+            end
+            else
+              Printf.printf "%s: ok (%d bytes, deterministic)\n" path
+                (String.length a))
+    entries;
+  if !failed then exit 1

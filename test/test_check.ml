@@ -167,6 +167,39 @@ let test_shrink_run_derived () =
 
 (* ---------- oracle checkers under mutated real recordings ---------- *)
 
+module Explain = Vs_obs.Explain
+module Event = Vs_obs.Event
+module Lineage = Vs_obs.Lineage
+
+(* Render the explanations an oracle's structured verdicts produce.  The
+   mutated recordings have no event stream, so the slices are empty — the
+   point is that the violation itself names the property, the offending
+   message and the views involved. *)
+let explain_text violations =
+  let lineage = Lineage.of_entries [] in
+  String.concat ""
+    (List.map
+       (fun v ->
+         Explain.to_text
+           (Explain.explain ~lineage ~entries:[] (Oracle.to_obs_violation v)))
+       violations)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let assert_mentions text parts =
+  List.iter
+    (fun part ->
+      if not (contains text part) then
+        Alcotest.failf "explanation does not mention %S:\n%s" part text)
+    parts
+
+let obs_mid m = Event.msg_to_string (Oracle.msg_id_to_obs m)
+
+let obs_vid v = Event.vid_to_string (View.Id.to_obs v)
+
 (* Drive a real, clean run: 3 nodes form a view, exchange FIFO traffic,
    then lose node 2 so a successor view exists (agreement compares the
    survivors' delivery sets across that view change). *)
@@ -258,8 +291,17 @@ let test_mutation_dropped_delivery_breaks_agreement () =
     | [] -> Alcotest.fail "no shared delivery in the pre-crash view"
   in
   let corrupted = rebuild_recording ~drop:(survivor, shared_mid) o procs in
+  let violations = Oracle.agreement_violations corrupted in
   check Alcotest.bool "agreement fires on the dropped delivery" true
-    (Oracle.check_agreement corrupted <> [])
+    (violations <> []);
+  (* The explanation names the property, the missing message and the view
+     the survivors shared. *)
+  assert_mentions (explain_text violations)
+    [
+      "violated: agreement (Property 2.1)";
+      "message: " ^ obs_mid shared_mid;
+      obs_vid last_prior;
+    ]
 
 let test_mutation_cross_view_duplicate_breaks_uniqueness () =
   let c = drive_clean_run () in
@@ -274,19 +316,34 @@ let test_mutation_cross_view_duplicate_breaks_uniqueness () =
   let other_vid = View.Id.make ~epoch:99 ~proposer:(p 1) in
   assert (not (View.Id.equal vid other_vid));
   Oracle.record_delivery o ~proc:(p 1) ~vid:other_vid mid ~time:9.9;
+  let violations = Oracle.uniqueness_violations o in
   check Alcotest.bool "uniqueness fires on the cross-view duplicate" true
-    (Oracle.check_uniqueness o <> [])
+    (violations <> []);
+  assert_mentions (explain_text violations)
+    [
+      "violated: uniqueness (Property 2.2)";
+      "message: " ^ obs_mid mid;
+      obs_vid vid;
+      obs_vid other_vid;
+    ]
 
 let test_mutation_spurious_message_breaks_integrity () =
   let c = drive_clean_run () in
   let o = Vc.oracle c in
   (* Deliver a message nobody ever multicast. *)
   let phantom = { Oracle.m_sender = p 9; m_index = 42 } in
-  Oracle.record_delivery o ~proc:(p 0)
-    ~vid:(View.Id.make ~epoch:1 ~proposer:(p 0))
-    phantom ~time:9.9;
+  let vid = View.Id.make ~epoch:1 ~proposer:(p 0) in
+  Oracle.record_delivery o ~proc:(p 0) ~vid phantom ~time:9.9;
+  let violations = Oracle.integrity_violations o in
   check Alcotest.bool "integrity fires on the spurious message" true
-    (Oracle.check_integrity o <> [])
+    (violations <> []);
+  assert_mentions (explain_text violations)
+    [
+      "violated: integrity (Property 2.3)";
+      "message: " ^ obs_mid phantom;
+      "processes: " ^ Event.proc_to_string (Proc_id.to_obs (p 0));
+      obs_vid vid;
+    ]
 
 let test_mutation_inverted_delivery_breaks_fifo () =
   let c = drive_clean_run () in
@@ -300,8 +357,10 @@ let test_mutation_inverted_delivery_breaks_fifo () =
   let vid = View.Id.make ~epoch:1 ~proposer:(p 0) in
   Oracle.record_delivery o ~proc:(p 0) ~vid m1 ~time:9.8;
   Oracle.record_delivery o ~proc:(p 0) ~vid m0 ~time:9.9;
-  check Alcotest.bool "fifo fires on the inversion" true
-    (Oracle.check_fifo o <> [])
+  let violations = Oracle.fifo_violations o in
+  check Alcotest.bool "fifo fires on the inversion" true (violations <> []);
+  assert_mentions (explain_text violations)
+    [ "violated: per-sender fifo order"; "message: "; obs_vid vid ]
 
 (* ---------- corpus replay ---------- *)
 

@@ -10,6 +10,8 @@ module Json = Vs_obs.Json
 module Export = Vs_obs.Export
 module Metrics = Vs_obs.Metrics
 module Summary = Vs_stats.Summary
+module Lineage = Vs_obs.Lineage
+module Query = Vs_obs.Query
 module Campaign = Vs_check.Campaign
 
 let check = Alcotest.check
@@ -77,6 +79,51 @@ let test_tail () =
   check Alcotest.int "tail larger than stream" 10
     (List.length (Recorder.tail ~limit:50 r))
 
+let test_level_parse () =
+  check Alcotest.bool "case-insensitive" true
+    (Recorder.level_of_string "FULL" = Some Recorder.Full
+    && Recorder.level_of_string "Protocol" = Some Recorder.Protocol
+    && Recorder.level_of_string "off" = Some Recorder.Off);
+  check Alcotest.bool "garbage rejected" true
+    (Recorder.level_of_string "fullest" = None);
+  check
+    (Alcotest.list Alcotest.string)
+    "valid set for CLI errors" [ "off"; "protocol"; "full" ]
+    Recorder.all_level_names
+
+let test_capacity () =
+  let r = Recorder.create ~capacity:4 ~level:Recorder.Full () in
+  check Alcotest.bool "capacity is visible" true
+    (Recorder.capacity r = Some 4);
+  for i = 1 to 3 do
+    Recorder.emit r ~time:(float_of_int i) Event.Heal
+  done;
+  (* Read once below capacity, then keep emitting: the materialized view
+     must be invalidated, not served stale. *)
+  check (Alcotest.list (Alcotest.float 0.)) "below capacity" [ 1.; 2.; 3. ]
+    (List.map (fun e -> e.Recorder.time) (Recorder.entries r));
+  for i = 4 to 10 do
+    Recorder.emit r ~time:(float_of_int i) Event.Heal
+  done;
+  check Alcotest.int "count keeps the total across eviction" 10
+    (Recorder.count r);
+  check (Alcotest.list (Alcotest.float 0.)) "wraparound keeps newest 4"
+    [ 7.; 8.; 9.; 10. ]
+    (List.map (fun e -> e.Recorder.time) (Recorder.entries r));
+  check (Alcotest.list (Alcotest.float 0.)) "tail within the ring" [ 9.; 10. ]
+    (List.map (fun e -> e.Recorder.time) (Recorder.tail ~limit:2 r));
+  check (Alcotest.list (Alcotest.float 0.)) "tail capped by the ring"
+    [ 7.; 8.; 9.; 10. ]
+    (List.map (fun e -> e.Recorder.time) (Recorder.tail ~limit:50 r));
+  Recorder.clear r;
+  check Alcotest.int "clear resets" 0 (Recorder.count r);
+  check Alcotest.bool "clear empties entries" true (Recorder.entries r = []);
+  check Alcotest.bool "capacity must be positive" true
+    (try
+       ignore (Recorder.create ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true)
+
 (* ---------- exporters ---------- *)
 
 let full_run seed =
@@ -141,8 +188,15 @@ let test_metrics_derivation () =
       e 0.25
         (Event.Install
            { proc = p 1 0; vid = v 1 0; members = [ p 0 0; p 1 0 ]; sync = 3 });
-      e 0.3 (Event.Send { src = p 0 0; dst = p 1 0; kind = "data"; bytes = 8 });
-      e 0.4 (Event.Drop { src = p 0 0; dst = p 1 0; kind = "data"; reason = "loss" });
+      e 0.3
+        (Event.Send
+           { src = p 0 0; dst = p 1 0; kind = "data"; bytes = 8; msg = None });
+      e 0.4
+        (Event.Drop
+           {
+             src = p 0 0; dst = p 1 0; kind = "data"; reason = "loss";
+             msg = None;
+           });
     ]
   in
   let m = Metrics.of_entries entries in
@@ -163,6 +217,108 @@ let test_metrics_derivation () =
   match Metrics.hist m "view.sync-deliveries" with
   | None -> Alcotest.fail "no sync-deliveries histogram"
   | Some s -> check (Alcotest.float 0.) "sync count" 3. (Summary.max_value s)
+
+(* ---------- lineage conservation on a seeded lossy run ---------- *)
+
+(* E11-style network: substantial loss and duplication.  Every send the
+   stream records must be accounted for — delivered, dropped with a reason,
+   or still in flight at shutdown — and no data-path event may reference a
+   message the fold did not track. *)
+let test_lineage_conservation () =
+  let spec = Campaign.generate ~seed:13 ~nodes:4 ~quick:true () in
+  let spec =
+    {
+      spec with
+      Campaign.knobs =
+        {
+          spec.Campaign.knobs with
+          Campaign.loss_prob = 0.2;
+          dup_prob = 0.08;
+        };
+    }
+  in
+  let recorder = Recorder.create ~level:Recorder.Full () in
+  let (_ : Campaign.outcome) = Campaign.run ~obs:recorder spec in
+  let entries = Recorder.entries recorder in
+  let lng = Lineage.of_entries entries in
+  check Alcotest.bool "messages tracked" true (lng.Lineage.lifecycles <> []);
+  (* no orphans: every identity-carrying event belongs to a lifecycle *)
+  List.iter
+    (fun (e : Recorder.entry) ->
+      match Event.msg_of e.Recorder.event with
+      | None -> ()
+      | Some m ->
+          if Lineage.lifecycle lng m = None then
+            Alcotest.failf "orphaned data-path event for %s"
+              (Event.msg_to_string m))
+    entries;
+  let assoc_total l = List.fold_left (fun acc (_, n) -> acc + n) 0 l in
+  let total_drops = ref 0 and total_received = ref 0 in
+  List.iter
+    (fun (l : Lineage.lifecycle) ->
+      let count w =
+        List.length
+          (List.filter
+             (fun (h : Lineage.hop) -> h.Lineage.h_what = w)
+             l.Lineage.l_hops)
+      in
+      let sends = count Lineage.Sent
+      and dups = count Lineage.Duplicated
+      and recvs = count Lineage.Received in
+      let pre, infl =
+        List.fold_left
+          (fun (pre, infl) (h : Lineage.hop) ->
+            match h.Lineage.h_what with
+            | Lineage.Dropped r ->
+                if Lineage.send_time_reason r then (pre + 1, infl)
+                else (pre, infl + 1)
+            | Lineage.Sent | Lineage.Received | Lineage.Duplicated ->
+                (pre, infl))
+          (0, 0) l.Lineage.l_hops
+      in
+      let name = Event.msg_to_string l.Lineage.l_msg in
+      check Alcotest.int (name ^ ": copies = sends + dups") (sends + dups)
+        l.Lineage.l_copies;
+      check Alcotest.int (name ^ ": received") recvs l.Lineage.l_received;
+      check Alcotest.int (name ^ ": send-time drops") pre
+        (assoc_total l.Lineage.l_predrops);
+      check Alcotest.int (name ^ ": in-flight drops") infl
+        (assoc_total l.Lineage.l_inflight_drops);
+      check Alcotest.int
+        (name ^ ": in flight = copies - received - in-flight drops")
+        (l.Lineage.l_copies - l.Lineage.l_received
+        - assoc_total l.Lineage.l_inflight_drops)
+        l.Lineage.l_in_flight;
+      check Alcotest.bool (name ^ ": in flight >= 0") true
+        (l.Lineage.l_in_flight >= 0);
+      List.iter
+        (fun (r, _) ->
+          check Alcotest.bool (name ^ ": predrop reason " ^ r) true
+            (Lineage.send_time_reason r))
+        l.Lineage.l_predrops;
+      List.iter
+        (fun (r, _) ->
+          check Alcotest.bool (name ^ ": in-flight reason " ^ r) true
+            (not (Lineage.send_time_reason r)))
+        l.Lineage.l_inflight_drops;
+      total_drops :=
+        !total_drops + assoc_total l.Lineage.l_predrops
+        + assoc_total l.Lineage.l_inflight_drops;
+      total_received := !total_received + l.Lineage.l_received)
+    lng.Lineage.lifecycles;
+  check Alcotest.bool "the lossy run actually dropped copies" true
+    (!total_drops > 0);
+  check Alcotest.bool "and delivered some" true (!total_received > 0);
+  (* cross-check against the query layer's typed counting *)
+  let sends_q = Query.(count (of_type "send" &&& carries_msg)) entries in
+  let dups_q = Query.(count (of_type "dup" &&& carries_msg)) entries in
+  let copies =
+    List.fold_left
+      (fun acc (l : Lineage.lifecycle) -> acc + l.Lineage.l_copies)
+      0 lng.Lineage.lifecycles
+  in
+  check Alcotest.int "query counting agrees with the fold" (sends_q + dups_q)
+    copies
 
 (* ---------- canonical JSON ---------- *)
 
@@ -216,6 +372,8 @@ let () =
           Alcotest.test_case "protocol-skips-traffic" `Quick
             test_protocol_skips_traffic;
           Alcotest.test_case "tail" `Quick test_tail;
+          Alcotest.test_case "level-parse" `Quick test_level_parse;
+          Alcotest.test_case "capacity" `Quick test_capacity;
         ] );
       ( "exporters",
         [
@@ -225,6 +383,10 @@ let () =
         ] );
       ( "metrics",
         [ Alcotest.test_case "derivation" `Quick test_metrics_derivation ] );
+      ( "lineage",
+        [
+          Alcotest.test_case "conservation" `Quick test_lineage_conservation;
+        ] );
       ( "json", [ Alcotest.test_case "canonical" `Quick test_json_canonical ] );
       ( "trace-shim", [ Alcotest.test_case "compat" `Quick test_trace_shim ] );
     ]

@@ -27,11 +27,26 @@ let v epoch node = { Event.epoch; proposer = p node 0 }
 let sample_entries =
   let e time event = { Recorder.time; event } in
   [
-    e 0. (Event.Send { src = p 0 0; dst = p 1 0; kind = "heartbeat"; bytes = 16 });
-    e 0.0012 (Event.Recv { src = p 0 0; dst = p 1 0; kind = "heartbeat" });
+    (* Data-path events appear both without a correlation identity (control
+       traffic) and with one (application payloads), so the optional trailing
+       "msg" key is exercised in both states. *)
+    e 0.
+      (Event.Send
+         { src = p 0 0; dst = p 1 0; kind = "heartbeat"; bytes = 16; msg = None });
+    e 0.0012
+      (Event.Recv
+         {
+           src = p 0 0; dst = p 1 0; kind = "data";
+           msg = Some { Event.origin = p 0 0; mseq = 3 };
+         });
     e 0.002
-      (Event.Drop { src = p 1 0; dst = p 2 (-1); kind = "data"; reason = "loss" });
-    e 0.0031 (Event.Dup { src = p 1 0; dst = p 0 0; kind = "stable" });
+      (Event.Drop
+         {
+           src = p 1 0; dst = p 2 (-1); kind = "data"; reason = "loss";
+           msg = Some { Event.origin = p 1 0; mseq = 0 };
+         });
+    e 0.0031
+      (Event.Dup { src = p 1 0; dst = p 0 0; kind = "stable"; msg = None });
     e 0.0125
       (Event.Retransmit { proc = p 0 0; origin = p 1 0; count = 3; peer = true });
     e 0.02 (Event.Backoff { proc = p 0 0; dst = p 2 0; attempt = 2; delay = 0.05 });
