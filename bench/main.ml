@@ -43,6 +43,7 @@ let experiments =
     ("e8", "Example 2: parallel look-up coverage", Vs_exp.Exp_db.tables);
     ("e9e10", "Overheads: EVS and flush costs", Vs_exp.Exp_overhead.tables);
     ("e11", "Loss tolerance: control plane under drop/dup", Vs_exp.Exp_loss.tables);
+    ("t", "Experiment T: sustained-throughput data plane", Vs_exp.Exp_throughput.tables);
   ]
 
 let run_experiments ~quick ~only =
@@ -124,6 +125,45 @@ let words_per_send ~level =
   done;
   (Gc.minor_words () -. w0) /. float_of_int sends
 
+(* The same off-path discipline, re-asserted for the batched data plane: a
+   net instantiated exactly as the protocol stack builds it (Wire sizing,
+   kind, per-payload identity extraction) carrying a prebuilt [Wire.Batch].
+   The [idents] hook walks every payload of the batch — but only under Full
+   recording, so Off and Protocol must still match to the word. *)
+let words_per_send_batch ~level =
+  let module Net = Vs_net.Net in
+  let module Sim = Vs_sim.Sim in
+  let module Wire = Vs_vsync.Wire in
+  let recorder = Recorder.create ~level () in
+  let sim = Sim.create ~seed:13L ~obs:recorder () in
+  let user (u : int) =
+    Some { Vs_obs.Event.origin = { Vs_obs.Event.node = 0; inc = 0 }; mseq = u }
+  in
+  let net =
+    Net.create
+      ~size_of:(Wire.size_of ~user:(fun (_ : int) -> 8) ~ann:(fun () -> 8))
+      ~describe:Wire.kind ~ident:(Wire.ident ~user) ~idents:(Wire.idents ~user)
+      sim Net.default_config
+  in
+  let a = Proc_id.initial 0 and b = Proc_id.initial 1 in
+  Net.register net a (fun _ -> ());
+  Net.register net b (fun _ -> ());
+  let vid = View.Id.initial a in
+  let batch : (int, unit) Wire.t =
+    Wire.Batch
+      (List.init 4 (fun seq -> { Wire.vid; sender = a; seq; body = Wire.User seq }))
+  in
+  for _ = 1 to 20_000 do
+    Net.send net ~src:a ~dst:b batch
+  done;
+  Gc.minor ();
+  let sends = 64 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to sends do
+    Net.send net ~src:a ~dst:b batch
+  done;
+  (Gc.minor_words () -. w0) /. float_of_int sends
+
 let run_obs () =
   print_endline "### OBS — observability overhead (instrumentation off vs on)\n";
   (* 1. The send fast path must not allocate for instrumentation unless the
@@ -131,15 +171,22 @@ let run_obs () =
   let off = words_per_send ~level:Recorder.Off in
   let proto = words_per_send ~level:Recorder.Protocol in
   let full = words_per_send ~level:Recorder.Full in
+  let off_b = words_per_send_batch ~level:Recorder.Off in
+  let proto_b = words_per_send_batch ~level:Recorder.Protocol in
+  let full_b = words_per_send_batch ~level:Recorder.Full in
   let alloc_table =
     Table.create ~title:"allocation per Net.send by recording level"
-      ~columns:[ "level"; "words/send" ]
+      ~columns:[ "level"; "words/send"; "words/send (4-payload batch)" ]
   in
   Table.add_rows alloc_table
     [
-      [ "off"; Table.ffloat ~decimals:1 off ];
-      [ "protocol"; Table.ffloat ~decimals:1 proto ];
-      [ "full"; Table.ffloat ~decimals:1 full ];
+      [ "off"; Table.ffloat ~decimals:1 off; Table.ffloat ~decimals:1 off_b ];
+      [
+        "protocol";
+        Table.ffloat ~decimals:1 proto;
+        Table.ffloat ~decimals:1 proto_b;
+      ];
+      [ "full"; Table.ffloat ~decimals:1 full; Table.ffloat ~decimals:1 full_b ];
     ];
   Table.print alloc_table;
   if proto <> off then begin
@@ -147,6 +194,13 @@ let run_obs () =
       "OBS FAILURE: send allocates %+.1f extra words at Protocol level \
        (expected zero off-path overhead)\n"
       (proto -. off);
+    exit 1
+  end;
+  if proto_b <> off_b then begin
+    Printf.printf
+      "OBS FAILURE: batched send allocates %+.1f extra words at Protocol \
+       level (expected zero off-path overhead)\n"
+      (proto_b -. off_b);
     exit 1
   end;
   (* 2. Whole-experiment allocation deltas, instrumentation off vs Full, via
@@ -213,6 +267,14 @@ let run_obs () =
               ("full", Json.Float full);
             ] );
         ("zero_alloc_off_path", Json.Bool (proto = off));
+        ( "send_words_per_call_batched",
+          Json.Obj
+            [
+              ("off", Json.Float off_b);
+              ("protocol", Json.Float proto_b);
+              ("full", Json.Float full_b);
+            ] );
+        ("zero_alloc_off_path_batched", Json.Bool (proto_b = off_b));
         ( "experiments",
           Json.Arr
             (List.map
@@ -231,6 +293,115 @@ let run_obs () =
                    ])
                rows) );
       ]
+
+(* ---------- sustained throughput: the wall-clock profile ---------- *)
+
+(* The T experiment in the registry above runs without a clock (registry
+   output must be deterministic); this profile re-runs it with the wall
+   clock injected and writes the machine-readable BENCH_throughput.json —
+   the evidence behind the 10× batched-vs-unbatched claim.  [scale]
+   additionally reruns claim C1 with two k = 500 partitions (a
+   1000-process simulation: several minutes, ~1.5 GB). *)
+let run_throughput ~quick ~scale =
+  let module TP = Vs_exp.Exp_throughput in
+  (* vslint: allow D1 — wall-clock is the quantity being measured; bench output only *)
+  let clock () = Unix.gettimeofday () in
+  Printf.printf "### THROUGHPUT — sustained-load data plane (%s)\n\n%!"
+    (if quick then "quick" else "full");
+  let kv = TP.run_arms ~clock ~quick () in
+  Table.print (TP.throughput_table kv);
+  let dp = TP.run_data_plane ~clock ~quick () in
+  Table.print (TP.data_plane_table dp);
+  let dp_speedup = TP.dp_speedup dp in
+  (match dp_speedup with
+  | Some s ->
+      Printf.printf
+        "data-plane sustained ops/sec, batched+pipelined vs unbatched: %.1fx\n\n"
+        s
+  | None -> ());
+  let merge_ks = if scale then [ 500 ] else if quick then [ 25 ] else [ 100 ] in
+  let merges = List.map (fun k -> TP.merge_at_scale ~k) merge_ks in
+  Table.print (TP.merge_table merges);
+  let pct_obj label p50 p99 =
+    ( label,
+      Json.Obj
+        [
+          ("p50_ms", match p50 with Some s -> Json.Float (s *. 1000.) | None -> Json.Null);
+          ("p99_ms", match p99 with Some s -> Json.Float (s *. 1000.) | None -> Json.Null);
+        ] )
+  in
+  let opt_float = function Some f -> Json.Float f | None -> Json.Null in
+  let json =
+    Json.Obj
+      [
+        ("quick", Json.Bool quick);
+        ( "kv_arms",
+          Json.Arr
+            (List.map
+               (fun (r : TP.result) ->
+                 Json.Obj
+                   [
+                     ("name", Json.Str r.TP.r_name);
+                     ("offered", Json.Int r.TP.r_offered);
+                     ("accepted", Json.Int r.TP.r_accepted);
+                     ("applied_in_window", Json.Int r.TP.r_applied);
+                     ("wall_s", opt_float r.TP.r_wall_s);
+                     ("ops_per_wall_s", opt_float r.TP.r_ops_per_wall_s);
+                     pct_obj "put_latency"
+                       (TP.sum_pct r.TP.r_put_lat 0.5)
+                       (TP.sum_pct r.TP.r_put_lat 0.99);
+                     pct_obj "install_latency"
+                       (TP.hist_pct r.TP.r_install 0.5)
+                       (TP.hist_pct r.TP.r_install 0.99);
+                     pct_obj "flush_stall"
+                       (TP.hist_pct r.TP.r_flush 0.5)
+                       (TP.hist_pct r.TP.r_flush 0.99);
+                     ("wire_msgs_per_op", Json.Float r.TP.r_wire_per_op);
+                   ])
+               kv) );
+        ( "data_plane",
+          Json.Obj
+            [
+              ( "arms",
+                Json.Arr
+                  (List.map
+                     (fun (r : TP.dp_result) ->
+                       Json.Obj
+                         [
+                           ("name", Json.Str r.TP.p_name);
+                           ("offered", Json.Int r.TP.p_offered);
+                           ("delivered_all_replicas", Json.Int r.TP.p_delivered);
+                           ("wall_s", opt_float r.TP.p_wall_s);
+                           ("ops_per_wall_s", opt_float r.TP.p_ops_per_wall_s);
+                           ("wire_msgs_per_op", Json.Float r.TP.p_wire_per_op);
+                           ("batch_rounds", Json.Int r.TP.p_batches);
+                         ])
+                     dp) );
+              ("speedup", opt_float dp_speedup);
+              ( "gate_10x",
+                Json.Bool
+                  (match dp_speedup with Some s -> s >= 10.0 | None -> false)
+              );
+            ] );
+        ( "c1_at_scale",
+          Json.Arr
+            (List.map
+               (fun (m : TP.merge_result) ->
+                 Json.Obj
+                   [
+                     ("k", Json.Int m.TP.m_k);
+                     ("installs_after_heal", Json.Int m.TP.m_installs_total);
+                     ("installs_per_proc", Json.Float m.TP.m_installs_per_proc);
+                     ("merge_latency_s", Json.Float m.TP.m_merge_latency);
+                   ])
+               merges) );
+      ]
+  in
+  let oc = open_out "BENCH_throughput.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_throughput.json"
 
 (* ---------- Bechamel micro-benchmarks: the hot operation of each table ---------- *)
 
@@ -413,18 +584,26 @@ let () =
   let known_ids = List.map (fun (id, _, _) -> id) experiments in
   let unknown =
     List.filter
-      (fun a -> not (List.mem a ("quick" :: "micro" :: "obs" :: known_ids)))
+      (fun a ->
+        not
+          (List.mem a
+             ("quick" :: "micro" :: "obs" :: "throughput" :: "scale" :: known_ids)))
       args
   in
   if unknown <> [] then begin
     Printf.eprintf "unknown argument(s): %s\n" (String.concat " " unknown);
     Printf.eprintf
-      "usage: main.exe [quick] [micro] [obs] [%s]...\n\
+      "usage: main.exe [quick] [micro] [obs] [throughput [scale]] [%s]...\n\
       \  no arguments        run all experiments, the observability overhead\n\
-      \                      section and the micro-benchmarks\n\
+      \                      section, the micro-benchmarks and a quick\n\
+      \                      throughput profile\n\
       \  quick               smaller sweeps (CI-sized)\n\
       \  micro               run the Bechamel micro-benchmarks\n\
       \  obs                 run the observability overhead section\n\
+      \  throughput          run the wall-clock sustained-throughput profile\n\
+      \                      (writes BENCH_throughput.json)\n\
+      \  scale               with throughput: rerun C1 with k = 500\n\
+      \                      partitions (minutes of wall time)\n\
       \  <experiment id>     run only the named experiments\n"
       (String.concat "|" known_ids);
     exit 2
@@ -432,10 +611,12 @@ let () =
   let quick = List.mem "quick" args in
   let micro = List.mem "micro" args in
   let obs = List.mem "obs" args in
+  let throughput = List.mem "throughput" args in
+  let scale = List.mem "scale" args in
   let only = List.filter (fun a -> List.mem a known_ids) args in
-  (* Experiment ids, [micro] and [obs] compose; naming any of them skips the
-     unnamed sections. *)
-  let run_all = only = [] && (not micro) && not obs in
+  (* Experiment ids, [micro], [obs] and [throughput] compose; naming any of
+     them skips the unnamed sections. *)
+  let run_all = only = [] && (not micro) && (not obs) && not throughput in
   print_endline
     "On Programming with View Synchrony (ICDCS 1996) — experiment \
      reproduction\n";
@@ -444,19 +625,27 @@ let () =
   if quick && only = [] then run_explorer_smoke ();
   if obs || run_all then run_obs ();
   if micro || run_all then run_micro ();
+  (* The default profile carries the quick throughput variant, so
+     BENCH_throughput.json is refreshed on every full bench run. *)
+  if throughput then run_throughput ~quick ~scale
+  else if run_all then run_throughput ~quick:true ~scale:false;
   (* Consolidated record: whatever sections ran, plus the wall time of every
-     experiment of this invocation.  Written on every run. *)
-  let json =
-    Json.Obj
-      (!bench_record
-      @ [
-          ( "experiment_wall_ms",
-            Json.Obj
-              (List.map (fun (id, ms) -> (id, Json.Float ms)) !exp_walls) );
-        ])
-  in
-  let oc = open_out "BENCH_obs.json" in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  print_endline "wrote BENCH_obs.json"
+     experiment of this invocation.  Skipped when nothing fed it (e.g. a
+     throughput-only run, which writes its own artifact) so a partial
+     invocation never wipes the committed record. *)
+  if !bench_record <> [] || !exp_walls <> [] then begin
+    let json =
+      Json.Obj
+        (!bench_record
+        @ [
+            ( "experiment_wall_ms",
+              Json.Obj
+                (List.map (fun (id, ms) -> (id, Json.Float ms)) !exp_walls) );
+          ])
+    in
+    let oc = open_out "BENCH_obs.json" in
+    output_string oc (Json.to_string json);
+    output_char oc '\n';
+    close_out oc;
+    print_endline "wrote BENCH_obs.json"
+  end

@@ -127,6 +127,7 @@ let experiments =
     ("e8", Vs_exp.Exp_db.tables);
     ("e9e10", Vs_exp.Exp_overhead.tables);
     ("e11", Vs_exp.Exp_loss.tables);
+    ("t", Vs_exp.Exp_throughput.tables);
   ]
 
 let experiment_cmd =
@@ -139,8 +140,9 @@ let experiment_cmd =
       & pos_all (enum (List.map (fun (n, _) -> (n, n)) experiments)) []
       & info [] ~docv:"EXPERIMENT"
           ~doc:
-            "Experiments to run (e1 e2e3 e4 e5 e6 e7 e8 e9e10 e11); all by \
-             default.")
+            "Experiments to run (e1 e2e3 e4 e5 e6 e7 e8 e9e10 e11 t); all \
+             by default; t runs without wall-clock numbers — see the \
+             throughput subcommand for those.")
   in
   let run quick names =
     let selected =
@@ -691,6 +693,46 @@ let lint_cmd =
           executable and the @lint dune alias.")
     Term.(const run $ json $ rules $ explain $ paths)
 
+(* ---------- throughput ---------- *)
+
+let throughput_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps (CI-sized).")
+  in
+  let scale =
+    Arg.(
+      value & flag
+      & info [ "scale" ]
+          ~doc:
+            "Rerun claim C1 with two k=500 partitions (a 1000-process \
+             simulation: several minutes of wall time).")
+  in
+  let run quick scale =
+    let module TP = Vs_exp.Exp_throughput in
+    (* vslint: allow D1 — wall-clock is the quantity being measured; CLI output only *)
+    let clock () = Unix.gettimeofday () in
+    let kv = TP.run_arms ~clock ~quick () in
+    Vs_stats.Table.print (TP.throughput_table kv);
+    let dp = TP.run_data_plane ~clock ~quick () in
+    Vs_stats.Table.print (TP.data_plane_table dp);
+    (match TP.dp_speedup dp with
+    | Some s ->
+        Printf.printf
+          "data-plane sustained ops/sec, batched+pipelined vs unbatched: \
+           %.1fx\n\n"
+          s
+    | None -> ());
+    let k = if scale then 500 else if quick then 25 else 100 in
+    Vs_stats.Table.print (TP.merge_table [ TP.merge_at_scale ~k ])
+  in
+  Cmd.v
+    (Cmd.info "throughput"
+       ~doc:
+         "Sustained-throughput profile: open-loop load on the KV store and \
+          on the bare data plane, batched+pipelined vs unbatched, with \
+          wall-clock ops/sec — the interactive twin of `bench throughput`.")
+    Term.(const run $ quick $ scale)
+
 let () =
   let info =
     Cmd.info "vscli" ~version:"1.0.0"
@@ -703,5 +745,5 @@ let () =
        (Cmd.group info
           [
             experiment_cmd; campaign_cmd; check_cmd; explain_cmd; query_cmd;
-            trace_cmd; lint_cmd;
+            trace_cmd; lint_cmd; throughput_cmd;
           ]))

@@ -53,6 +53,9 @@ type settle_state = {
 type t = {
   sim : Sim.t;
   policy : policy;
+  on_apply : (origin:int -> key:string -> value:string -> unit) option;
+      (* observation hook: fires once per locally applied Put — load
+         experiments count deliveries and sample end-to-end latency here *)
   mutable obj : (payload, ann) Group_object.t option;
   mutable entries : (string * stamp) Smap.t;
   mutable max_counter : int;
@@ -85,7 +88,10 @@ let keys t = List.map fst (Smap.bindings t.entries)
 let apply_put t ~origin ~key ~value =
   t.max_counter <- t.max_counter + 1;
   t.entries <-
-    Smap.add key (value, { counter = t.max_counter; origin }) t.entries
+    Smap.add key (value, { counter = t.max_counter; origin }) t.entries;
+  match t.on_apply with
+  | Some f -> f ~origin ~key ~value
+  | None -> ()
 
 let lww_pick key a b =
   ignore key;
@@ -207,11 +213,12 @@ let handle_message t ~sender payload =
           maybe_finish_settling t
       | Some _ | None -> ())
 
-let create sim net ~me:me_ ~universe ?observer ~config ~policy () =
+let create sim net ~me:me_ ~universe ?observer ?on_apply ~config ~policy () =
   let t =
     {
       sim;
       policy;
+      on_apply;
       obj = None;
       entries = Smap.empty;
       max_counter = 0;

@@ -46,10 +46,15 @@ val create :
   me:Proc_id.t ->
   universe:int list ->
   ?observer:(Group_object.observation -> unit) ->
+  ?on_apply:(origin:int -> key:string -> value:string -> unit) ->
   config:Endpoint.config ->
   policy:policy ->
   unit ->
   t
+(** [?on_apply] fires once per Put applied to this replica's state (own and
+    remote writes alike) — the hook load experiments use to count
+    deliveries and sample end-to-end write latency without touching the
+    store's behaviour. *)
 
 val me : t -> Proc_id.t
 

@@ -5,6 +5,7 @@ module Classify = Evs_core.Classify
 module History = Evs_core.History
 module Faults = Vs_harness.Faults
 module Sim = Vs_sim.Sim
+module Rng = Vs_util.Rng
 
 type 'app t = {
   nodes : int list;
@@ -79,6 +80,50 @@ let run_script t sim script ~net_action =
   Faults.schedule sim script ~apply:(fun action ->
       Sim.record sim ~component:"faults" (Faults.to_string action);
       apply_action t action net_action)
+
+(* ---------- open-loop load generation ---------- *)
+
+type load = {
+  mutable offered : int;
+  mutable accepted : int;
+  mutable rejected : int;
+}
+
+(* Poisson arrivals at [rate] ops/s from [clients] simulated clients, each
+   pinned to a fleet node round-robin.  Open loop: arrival times are drawn
+   up front from the exponential inter-arrival process and never wait for
+   completions, so a slow data plane shows up as latency, not as a reduced
+   offered rate.  Each fired arrival schedules the next, keeping the event
+   heap small at high rates.  Returns the live counters; read them after
+   running the sim past [until]. *)
+let open_loop t sim ~rng ~start ~until ~rate ~clients ~submit =
+  if rate <= 0. then invalid_arg "App_fleet.open_loop: rate must be positive";
+  if clients <= 0 then
+    invalid_arg "App_fleet.open_loop: need at least one client";
+  let load = { offered = 0; accepted = 0; rejected = 0 } in
+  let nodes = Array.of_list t.nodes in
+  let n_nodes = Array.length nodes in
+  if n_nodes = 0 then invalid_arg "App_fleet.open_loop: empty fleet";
+  let mean_gap = 1.0 /. rate in
+  let rec fire time () =
+    let op = load.offered in
+    load.offered <- op + 1;
+    let client = Rng.int rng clients in
+    let node = nodes.(client mod n_nodes) in
+    let ok =
+      match on_node t node with
+      | Some app -> submit app ~client ~op
+      | None -> false (* client's node is down: op refused at the door *)
+    in
+    if ok then load.accepted <- load.accepted + 1
+    else load.rejected <- load.rejected + 1;
+    schedule time
+  and schedule time =
+    let next = time +. Rng.exponential rng mean_gap in
+    if next < until then ignore (Sim.at sim next (fire next))
+  in
+  schedule start;
+  load
 
 (* Walk the history backwards from the View_event of [vid]: the first
    Mode_event before it is the mode the process was in at the cut. *)

@@ -39,6 +39,31 @@ val run_script :
   'app t -> Vs_sim.Sim.t -> Vs_harness.Faults.script ->
   net_action:(Vs_harness.Faults.action -> unit) -> unit
 
+(** {2 Open-loop load generation} *)
+
+type load = {
+  mutable offered : int;   (** arrivals fired *)
+  mutable accepted : int;  (** [submit] returned [true] *)
+  mutable rejected : int;  (** [submit] returned [false], or node down *)
+}
+
+val open_loop :
+  'app t ->
+  Vs_sim.Sim.t ->
+  rng:Vs_util.Rng.t ->
+  start:float ->
+  until:float ->
+  rate:float ->
+  clients:int ->
+  submit:('app -> client:int -> op:int -> bool) ->
+  load
+(** Open-loop traffic: Poisson arrivals at [rate] ops/s, attributed to
+    [clients] simulated clients pinned round-robin to the fleet's nodes.
+    Arrivals never wait for completions — overload appears as latency, not
+    as back-pressure on the generator.  [submit app ~client ~op] issues
+    operation number [op] (global, 0-based) and reports acceptance.
+    Returns live counters; read them once the sim has run past [until]. *)
+
 (** {2 Post-hoc mode analysis} *)
 
 val prior_state_of :

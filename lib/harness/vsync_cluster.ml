@@ -72,12 +72,12 @@ let create ?(seed = 1L) ?obs ?(net_config = Net.default_config)
   let size_of =
     Vs_vsync.Wire.size_of ~user:(fun (_ : Oracle.msg_id) -> 8) ~ann:(fun () -> 8)
   in
-  let ident =
-    Vs_vsync.Wire.ident ~user:(fun (m : Oracle.msg_id) ->
-        Some (Oracle.msg_id_to_obs m))
-  in
+  let user (m : Oracle.msg_id) = Some (Oracle.msg_id_to_obs m) in
+  let ident = Vs_vsync.Wire.ident ~user in
+  let idents = Vs_vsync.Wire.idents ~user in
   let net =
-    Net.create ~size_of ~describe:Vs_vsync.Wire.kind ~ident sim net_config
+    Net.create ~size_of ~describe:Vs_vsync.Wire.kind ~ident ~idents sim
+      net_config
   in
   let universe = List.init n (fun i -> i) in
   let t =
@@ -192,6 +192,7 @@ let stats_total t =
         stabilized = acc.Endpoint.stabilized + s.Endpoint.stabilized;
         ctl_retries = acc.Endpoint.ctl_retries + s.Endpoint.ctl_retries;
         ctl_abandoned = acc.Endpoint.ctl_abandoned + s.Endpoint.ctl_abandoned;
+        batches_sent = acc.Endpoint.batches_sent + s.Endpoint.batches_sent;
       })
     {
       Endpoint.views_installed = 0;
@@ -207,6 +208,7 @@ let stats_total t =
       stabilized = 0;
       ctl_retries = 0;
       ctl_abandoned = 0;
+      batches_sent = 0;
     }
     (live_endpoints t)
 

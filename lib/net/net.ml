@@ -41,6 +41,7 @@ type 'm t = {
   size_of : 'm -> int;
   describe : 'm -> string;
   ident : 'm -> Event.msg option;
+  idents : 'm -> Event.msg list;
   handlers : (Proc_id.t, 'm envelope -> unit) Hashtbl.t;
   node_live : (int, Proc_id.t) Hashtbl.t; (* node -> live incarnation *)
   node_next_inc : (int, int) Hashtbl.t;   (* node -> next unused incarnation *)
@@ -53,9 +54,14 @@ type 'm t = {
 }
 
 let create ?(size_of = fun _ -> 1) ?(describe = fun _ -> "msg")
-    ?(ident = fun _ -> None) sim config =
+    ?(ident = fun _ -> None) ?idents sim config =
   if config.delay_min < 0. || config.delay_max < config.delay_min then
     invalid_arg "Net.create: bad delay bounds";
+  let idents =
+    match idents with
+    | Some f -> f
+    | None -> fun m -> ( match ident m with Some x -> [ x ] | None -> [])
+  in
   {
     sim;
     rng = Sim.fork_rng sim;
@@ -63,6 +69,7 @@ let create ?(size_of = fun _ -> 1) ?(describe = fun _ -> "msg")
     size_of;
     describe;
     ident;
+    idents;
     handlers = Hashtbl.create 64;
     node_live = Hashtbl.create 64;
     node_next_inc = Hashtbl.create 64;
@@ -133,18 +140,30 @@ let sample_delay t ~bytes =
 (* Per-message events are Full-level only, and every emission site guards on
    [Sim.obs_full] *before* constructing the event, so runs at Protocol/Off
    level allocate nothing extra on the send path (the bench harness asserts
-   this). *)
+   this).
+
+   A payload may carry several application messages (a batch): Full-level
+   sites emit one event per carried identity so lineage conservation stays
+   per-payload, and a single identity-free event for control traffic —
+   which is byte-identical to the pre-batching behaviour for every payload
+   carrying zero or one identity. *)
+let emit_each ids ~f =
+  match ids with
+  | [] -> f None ~first:true
+  | ids -> List.iteri (fun i m -> f (Some m) ~first:(i = 0)) ids
+
 let emit_drop t ~src ~dst ~payload ~reason =
   if Sim.obs_full t.sim then
-    Sim.emit t.sim
-      (Event.Drop
-         {
-           src = Proc_id.to_obs src;
-           dst = Proc_id.to_obs dst;
-           kind = t.describe payload;
-           reason;
-           msg = t.ident payload;
-         })
+    emit_each (t.idents payload) ~f:(fun msg ~first:_ ->
+        Sim.emit t.sim
+          (Event.Drop
+             {
+               src = Proc_id.to_obs src;
+               dst = Proc_id.to_obs dst;
+               kind = t.describe payload;
+               reason;
+               msg;
+             }))
 
 (* Delivery is re-checked at arrival time: the destination incarnation must
    still be live and the nodes still connected, so a partition installed
@@ -157,14 +176,15 @@ let deliver_later ?(extra_copy = false) t env =
     | Some handler when connected t env.src.Proc_id.node env.dst.Proc_id.node ->
         t.delivered <- t.delivered + 1;
         if Sim.obs_full t.sim then
-          Sim.emit t.sim
-            (Event.Recv
-               {
-                 src = Proc_id.to_obs env.src;
-                 dst = Proc_id.to_obs env.dst;
-                 kind = t.describe env.payload;
-                 msg = t.ident env.payload;
-               });
+          emit_each (t.idents env.payload) ~f:(fun msg ~first:_ ->
+              Sim.emit t.sim
+                (Event.Recv
+                   {
+                     src = Proc_id.to_obs env.src;
+                     dst = Proc_id.to_obs env.dst;
+                     kind = t.describe env.payload;
+                     msg;
+                   }));
         handler env
     | Some _ ->
         t.dropped <- t.dropped + 1;
@@ -179,14 +199,15 @@ let deliver_later ?(extra_copy = false) t env =
   if extra_copy then begin
     t.duplicated <- t.duplicated + 1;
     if Sim.obs_full t.sim then
-      Sim.emit t.sim
-        (Event.Dup
-           {
-             src = Proc_id.to_obs env.src;
-             dst = Proc_id.to_obs env.dst;
-             kind = t.describe env.payload;
-             msg = t.ident env.payload;
-           });
+      emit_each (t.idents env.payload) ~f:(fun msg ~first:_ ->
+          Sim.emit t.sim
+            (Event.Dup
+               {
+                 src = Proc_id.to_obs env.src;
+                 dst = Proc_id.to_obs env.dst;
+                 kind = t.describe env.payload;
+                 msg;
+               }));
     ignore (Sim.after t.sim (sample_delay t ~bytes) deliver)
   end
 
@@ -209,15 +230,18 @@ let send_to t ~src ~dst payload =
   end
   else begin
     if Sim.obs_full t.sim then
-      Sim.emit t.sim
-        (Event.Send
-           {
-             src = Proc_id.to_obs src;
-             dst = Proc_id.to_obs dst;
-             kind = t.describe payload;
-             bytes = t.size_of payload;
-             msg = t.ident payload;
-           });
+      emit_each (t.idents payload) ~f:(fun msg ~first ->
+          (* A batch's bytes belong to the wire message, not each payload:
+             the first event carries them all so byte sums stay honest. *)
+          Sim.emit t.sim
+            (Event.Send
+               {
+                 src = Proc_id.to_obs src;
+                 dst = Proc_id.to_obs dst;
+                 kind = t.describe payload;
+                 bytes = (if first then t.size_of payload else 0);
+                 msg;
+               }));
     let env = { src; dst; sent_at = Sim.now t.sim; payload } in
     let extra_copy = (not self) && Rng.bool t.rng t.config.dup_prob in
     deliver_later ~extra_copy t env

@@ -37,6 +37,7 @@ val create :
   ?size_of:('m -> int) ->
   ?describe:('m -> string) ->
   ?ident:('m -> Vs_obs.Event.msg option) ->
+  ?idents:('m -> Vs_obs.Event.msg list) ->
   Vs_sim.Sim.t ->
   config ->
   'm t
@@ -45,7 +46,13 @@ val create :
     [Full] level.  [?ident] extracts the stable (origin, seq) correlation
     identity of the application message a payload carries, if any (default
     [fun _ -> None]); like [describe] it is only called under [Full]
-    recording, so the off-path send cost is unchanged. *)
+    recording, so the off-path send cost is unchanged.  [?idents] is the
+    batch-aware generalisation: every identity a payload carries (defaults
+    to the singleton-or-empty list [?ident] yields).  Full-level
+    Send/Recv/Drop/Dup events are emitted once per carried identity (bytes
+    attributed to the first), so lineage conservation stays per-payload even
+    when the protocol ships many application messages in one wire
+    message. *)
 (** [size_of] gives a nominal byte size per payload for traffic accounting
     (defaults to 1 per message). *)
 

@@ -22,6 +22,10 @@ type config = {
   retry_backoff_max : float;
   retry_jitter : float;
   retry_limit : int;
+  batching : bool;
+  batch_window : float;
+  batch_max : int;
+  pipeline_depth : int;
 }
 
 let default_config =
@@ -37,6 +41,10 @@ let default_config =
     retry_backoff_max = 0.400;
     retry_jitter = 0.25;
     retry_limit = 8;
+    batching = false;
+    batch_window = 0.002;
+    batch_max = 64;
+    pipeline_depth = 1;
   }
 
 type 'ann view_event = {
@@ -64,15 +72,20 @@ type stats = {
   stabilized : int;
   ctl_retries : int;
   ctl_abandoned : int;
+  batches_sent : int;
 }
 
 (* Per-sender incoming stream within the current view.  [log] keeps every
    data message seen (delivered or not): it is what the flush reports.
-   [next] is the lowest undelivered sequence number. *)
+   [next] is the lowest undelivered sequence number.  [trimmed] is the
+   stability watermark: every seq below it has already been removed from
+   [log], so trimming on a new stability floor walks only [trimmed, floor)
+   instead of snapshotting and sorting the whole log per gossip report. *)
 type 'a stream = {
   mutable next : int;
   buffer : (int, 'a Wire.data) Hashtbl.t;
   log : (int, 'a Wire.data) Hashtbl.t;
+  mutable trimmed : int;
   mutable nack_armed : bool;
   mutable nack_round : int;
       (* how many NACK rounds the current gap has survived; selects the
@@ -129,16 +142,37 @@ type ('a, 'ann) t = {
   ctl_pending : (int, ctl_pending) Hashtbl.t;
   mutable stash : 'a Wire.data list;
       (* data for the view being installed that raced ahead of the Install *)
-  mutable stash_to : (Proc_id.t * int * 'a) list;
+  stash_to : (Proc_id.t * int * 'a) Queue.t;
       (* total-order requests for the view being installed that reached us —
-         its future coordinator — before our own Install *)
+         its future coordinator — before our own Install.  A queue: relay
+         order is arrival order, and stashing must stay O(1) per request
+         even when hundreds arrive during one long flush *)
   mutable ann : 'ann option;
   mutable proposal : ('a, 'ann) proposal option;
   mutable fd : Fd.t option;
   mutable est : Estimator.t option;
   mutable alive : bool;
-  (* stability tracking: each member's latest delivered-prefix vector *)
-  stable_vectors : (Proc_id.t, (Proc_id.t * int) list) Hashtbl.t;
+  (* stability tracking: each member's latest delivered-prefix vector,
+     keyed by sender for O(1) lookup inside the floor fold *)
+  stable_vectors : (Proc_id.t, (Proc_id.t, int) Hashtbl.t) Hashtbl.t;
+  (* NACK retransmission targets: the current view's members minus me, in
+     member order, cached per view so round-robin target selection does not
+     rebuild (and index into) a list on every armed gap *)
+  mutable nack_peers : Proc_id.t array;
+  (* batched data plane (config.batching): outgoing data buffered per
+     flush round, newest first; sequence numbers were assigned at multicast
+     time so identity is independent of when the batch ships *)
+  mutable batch_rev : 'a Wire.data list;
+  mutable batch_len : int;
+  mutable batch_timer : Sim.handle option;
+  mutable batch_round : int;
+  rounds_inflight : (int * int) Queue.t;
+      (* (round, last seq) of shipped but not-yet-stable rounds; bounded by
+         config.pipeline_depth when stability gossip is on *)
+  mutable to_batch_rev : 'a list;
+  mutable to_batch_len : int;
+  mutable to_batch_rseq0 : int;
+  mutable to_batch_timer : Sim.handle option;
   (* stats *)
   mutable s_views : int;
   mutable s_proposals : int;
@@ -153,6 +187,7 @@ type ('a, 'ann) t = {
   mutable s_stabilized : int;
   mutable s_ctl_retries : int;
   mutable s_ctl_abandoned : int;
+  mutable s_batches : int;
 }
 
 let me t = t.me
@@ -178,6 +213,7 @@ let stats t =
     stabilized = t.s_stabilized;
     ctl_retries = t.s_ctl_retries;
     ctl_abandoned = t.s_ctl_abandoned;
+    batches_sent = t.s_batches;
   }
 
 let set_annotation t ann = t.ann <- ann
@@ -289,6 +325,7 @@ let stream_for t sender =
           next = 0;
           buffer = Hashtbl.create 8;
           log = Hashtbl.create 8;
+          trimmed = 0;
           nack_armed = false;
           nack_round = 0;
         }
@@ -299,18 +336,37 @@ let stream_for t sender =
 (* The view's stability floor for a sender: the minimum delivered prefix
    reported by every current member (0 until everyone has reported).
    Messages below it are delivered everywhere, so flush reports can omit
-   them and logs can drop them. *)
-let stability_floor t sender =
+   them and logs can drop them.  Vectors are stored as per-member hash
+   tables so the fold is O(members), not O(members * senders) as the old
+   assoc-list scan was — the floor is recomputed per sender on every
+   stability tick, which made the scan quadratic on the gossip hot path. *)
+let floor_from_tables tables members sender =
   List.fold_left
     (fun floor member ->
       let reported =
-        match Hashtbl.find_opt t.stable_vectors member with
-        | Some vector -> (
-            match List.assoc_opt sender vector with Some n -> n | None -> 0)
+        match Hashtbl.find_opt tables member with
+        | Some (table : (Proc_id.t, int) Hashtbl.t) -> (
+            match Hashtbl.find_opt table sender with Some n -> n | None -> 0)
         | None -> 0
       in
       min floor reported)
-    max_int t.view.View.members
+    max_int members
+
+let stability_floor t sender =
+  floor_from_tables t.stable_vectors t.view.View.members sender
+
+(* Test hook: the floor as computed from raw (member, vector) assoc lists,
+   through the same table-based fold the endpoint uses — lets tests pin the
+   rewrite against an independent reference without building an endpoint. *)
+let stability_floor_of ~vectors ~members ~sender =
+  let tables = Hashtbl.create (List.length vectors) in
+  List.iter
+    (fun (member, vector) ->
+      let table = Hashtbl.create (List.length vector) in
+      List.iter (fun (s, n) -> Hashtbl.replace table s n) vector;
+      Hashtbl.replace tables member table)
+    vectors;
+  floor_from_tables tables members sender
 
 (* Everything this process has seen (delivered or buffered) in the current
    view above the stability floor, in canonical (sender, seq) order — the
@@ -379,16 +435,30 @@ let drain_all t =
 (* Where to send the [round]-th NACK for a gap in [sender]'s stream: the
    original sender first, then round-robin over the other view members —
    any member that logged the messages can serve them, so a crashed
-   sender's tail stays recoverable until the flush. *)
-let nack_target t sender round =
+   sender's tail stays recoverable until the flush.  The peer list is
+   cached as an array per installed view: rebuilding it (and List.nth-ing
+   into it) on every NACK round was O(members) per gap check, and the
+   rotation must not pay that on a hot recovery path.  Array order is the
+   view's member order, so targets are byte-identical to the old
+   list-based selection. *)
+let live_peers_array ~me ~members =
+  Array.of_list (List.filter (fun m -> not (Proc_id.equal m me)) members)
+
+let nack_target_in ~peers ~sender round =
   if round = 0 then sender
   else
-    let peers =
-      List.filter (fun m -> not (Proc_id.equal m t.me)) t.view.View.members
-    in
-    match peers with
-    | [] -> sender
-    | peers -> List.nth peers (round mod List.length peers)
+    let n = Array.length peers in
+    if n = 0 then sender else peers.(round mod n)
+
+let nack_target t sender round =
+  nack_target_in ~peers:t.nack_peers ~sender round
+
+(* Test hook: the first [rounds] targets for a gap in [sender]'s stream as
+   seen by [me] in a view with [members] — pins the cached-array rotation
+   against the old list-based reference. *)
+let nack_targets_of ~me ~members ~sender ~rounds =
+  let peers = live_peers_array ~me ~members in
+  List.init rounds (fun round -> nack_target_in ~peers ~sender round)
 
 let rec arm_nack t sender s =
   if (not s.nack_armed) && Hashtbl.length s.buffer > 0 then begin
@@ -424,13 +494,141 @@ let rec arm_nack t sender s =
 
 let members_iter t f = List.iter f t.view.View.members
 
+(* ---------- batched data plane ----------
+
+   With [config.batching], outgoing data messages are buffered and shipped
+   as one {!Wire.Batch} per view member per *flush round*: a round closes
+   when it reaches [batch_max] messages or [batch_window] elapses since the
+   first buffered message.  Sequence numbers (and therefore identity,
+   ordering, flush reports and NACK recovery) were already assigned at
+   multicast time, so batching changes only how many wire messages carry
+   the stream — never what the stream is.
+
+   Rounds are numbered and *pipelined*: when stability gossip is on and
+   [pipeline_depth > 0], at most that many shipped rounds may be awaiting
+   stability (everyone has delivered our stream past the round's last
+   sequence number) before the next round may ship.  [pipeline_depth = 1]
+   is classic stop-and-wait flush; larger depths keep the pipe full;
+   [pipeline_depth = 0] (or no stability gossip) means open-loop — the
+   window/size thresholds alone pace the sender. *)
+
+let pipeline_bounded t =
+  t.config.pipeline_depth > 0 && t.config.stability_interval <> None
+
+let pipeline_open t =
+  (not (pipeline_bounded t))
+  || Queue.length t.rounds_inflight < t.config.pipeline_depth
+
+let cancel_batch_timer t =
+  (match t.batch_timer with Some h -> Sim.cancel h | None -> ());
+  t.batch_timer <- None
+
+let rec arm_batch_timer t =
+  if t.batch_timer = None then begin
+    let vid_at_arm = t.view.View.id in
+    t.batch_timer <-
+      Some
+        (Sim.after t.sim t.config.batch_window (fun () ->
+             t.batch_timer <- None;
+             if t.alive && View.Id.equal t.view.View.id vid_at_arm then
+               batch_try_flush t ~force:false))
+  end
+
+(* Ship the buffered round if allowed.  [force] overrides flow control —
+   used at view changes, where everything buffered must reach the wire
+   before we block (it is stamped with the old view id and must be in
+   flight for the flush protocol to account for it). *)
+and batch_try_flush t ~force =
+  if t.batch_len > 0 then begin
+    if force || pipeline_open t then begin
+      let last_seq =
+        match t.batch_rev with
+        | d :: _ -> d.Wire.seq
+        | [] -> assert false
+      in
+      let ds = List.rev t.batch_rev in
+      t.batch_rev <- [];
+      t.batch_len <- 0;
+      cancel_batch_timer t;
+      t.s_batches <- t.s_batches + 1;
+      if pipeline_bounded t then
+        Queue.add (t.batch_round, last_seq) t.rounds_inflight;
+      t.batch_round <- t.batch_round + 1;
+      let msg = Wire.Batch ds in
+      members_iter t (fun dst -> unicast t dst msg)
+    end
+    else
+      (* Flow control closed: hold the round.  Stability reports retire
+         rounds and re-attempt; the timer re-arms as a backstop. *)
+      arm_batch_timer t
+  end
+
+let batch_add t d =
+  t.batch_rev <- d :: t.batch_rev;
+  t.batch_len <- t.batch_len + 1;
+  if t.batch_len >= t.config.batch_max then batch_try_flush t ~force:false
+  else arm_batch_timer t
+
+(* Pop every in-flight round whose last message is now below our own
+   stream's stability floor — delivered by every member — then see whether
+   a held round may ship.  Called from {!handle_stable_report}. *)
+let retire_rounds t =
+  if t.config.batching && pipeline_bounded t then begin
+    let floor = stability_floor t t.me in
+    let continue = ref true in
+    while !continue do
+      match Queue.peek_opt t.rounds_inflight with
+      | Some (_, last_seq) when last_seq < floor ->
+          ignore (Queue.pop t.rounds_inflight)
+      | Some _ | None -> continue := false
+    done;
+    batch_try_flush t ~force:false
+  end
+
+(* Total-order requests batch the same way: contiguous request sequence
+   numbers from [to_batch_rseq0] travel in one reliable {!Wire.To_batch}
+   envelope to the coordinator, which relays element [i] exactly as a
+   {!Wire.To_request} with rseq [rseq0 + i] — one control-plane round trip
+   (and one retry timer) per batch instead of per operation. *)
+let to_batch_flush t =
+  if t.to_batch_len > 0 then begin
+    let users = List.rev t.to_batch_rev in
+    let rseq0 = t.to_batch_rseq0 in
+    t.to_batch_rev <- [];
+    t.to_batch_len <- 0;
+    (match t.to_batch_timer with Some h -> Sim.cancel h | None -> ());
+    t.to_batch_timer <- None;
+    let vid = t.view.View.id in
+    let coord = View.coordinator t.view in
+    ctl_send t coord
+      (Wire.To_batch { vid; rseq0; users })
+      ~is_done:(fun () -> not (View.Id.equal t.view.View.id vid))
+  end
+
+let to_batch_add t payload =
+  if t.to_batch_len = 0 then t.to_batch_rseq0 <- t.to_seq;
+  t.to_batch_rev <- payload :: t.to_batch_rev;
+  t.to_batch_len <- t.to_batch_len + 1;
+  t.to_seq <- t.to_seq + 1;
+  if t.to_batch_len >= t.config.batch_max then to_batch_flush t
+  else if t.to_batch_timer = None then begin
+    let vid_at_arm = t.view.View.id in
+    t.to_batch_timer <-
+      Some
+        (Sim.after t.sim t.config.batch_window (fun () ->
+             t.to_batch_timer <- None;
+             if t.alive && View.Id.equal t.view.View.id vid_at_arm then
+               to_batch_flush t))
+  end
+
 let send_data t body =
   let d =
     { Wire.vid = t.view.View.id; sender = t.me; seq = t.send_seq; body }
   in
   t.send_seq <- t.send_seq + 1;
   t.s_data_sent <- t.s_data_sent + 1;
-  members_iter t (fun dst -> unicast t dst (Wire.Data d))
+  if t.config.batching then batch_add t d
+  else members_iter t (fun dst -> unicast t dst (Wire.Data d))
 
 let rec multicast t ?(order = Fifo) payload =
   if t.alive then
@@ -450,12 +648,15 @@ let rec multicast t ?(order = Fifo) payload =
             in
             send_data t (Wire.Causal { deps; user = payload })
         | Total ->
-            let coord = View.coordinator t.view in
-            let vid = t.view.View.id in
-            let rseq = t.to_seq in
-            t.to_seq <- t.to_seq + 1;
-            ctl_send t coord (Wire.To_request { vid; rseq; user = payload })
-              ~is_done:(fun () -> not (View.Id.equal t.view.View.id vid)))
+            if t.config.batching then to_batch_add t payload
+            else begin
+              let coord = View.coordinator t.view in
+              let vid = t.view.View.id in
+              let rseq = t.to_seq in
+              t.to_seq <- t.to_seq + 1;
+              ctl_send t coord (Wire.To_request { vid; rseq; user = payload })
+                ~is_done:(fun () -> not (View.Id.equal t.view.View.id vid))
+            end)
 
 and flush_pending t =
   let queued = Queue.create () in
@@ -580,10 +781,17 @@ and handle_propose t ~pvid ~members =
     && View.Id.compare pvid t.acked > 0
   then begin
     t.max_epoch <- max t.max_epoch pvid.View.Id.epoch;
+    (* Buffered batches belong to the old view: force them onto the wire
+       before blocking, so they are in flight (stamped with the old vid)
+       and the flush protocol accounts for them like any other send. *)
+    if t.config.batching then begin
+      batch_try_flush t ~force:true;
+      to_batch_flush t
+    end;
     t.acked <- pvid;
     t.phase <- Flushing pvid;
     t.stash <- [];
-    t.stash_to <- [];
+    Queue.clear t.stash_to;
     (* A competing lower proposal of ours is now dead. *)
     (match t.proposal with
     | Some p when View.Id.compare p.p_vid pvid < 0 -> abandon_proposal t
@@ -716,6 +924,13 @@ and handle_install t ~pvid ~view:new_view ~sync ~anns ~priors =
       Hashtbl.reset t.streams;
       Hashtbl.reset t.to_streams;
       Hashtbl.reset t.stable_vectors;
+      t.nack_peers <-
+        live_peers_array ~me:t.me ~members:new_view.View.members;
+      (* Batch buffers are empty here (forced out at handle_propose;
+         multicasts during the flush went to pending_out); the round
+         pipeline restarts with the fresh stream. *)
+      t.batch_round <- 0;
+      Queue.clear t.rounds_inflight;
       t.s_views <- t.s_views + 1;
       Sim.emit t.sim
         (Vs_obs.Event.Install
@@ -731,9 +946,9 @@ and handle_install t ~pvid ~view:new_view ~sync ~anns ~priors =
       let stashed = t.stash in
       t.stash <- [];
       List.iter (fun d -> handle_data t d) stashed;
-      let stashed_to = t.stash_to in
-      t.stash_to <- [];
-      List.iter
+      let stashed_to = Queue.create () in
+      Queue.transfer t.stash_to stashed_to;
+      Queue.iter
         (fun (orig, rseq, user) -> handle_to_request t ~orig ~rseq ~user)
         stashed_to
   | Flushing _ | Active -> ()
@@ -797,19 +1012,42 @@ and handle_to_request t ~orig ~rseq ~user =
    flush will ever need them again. *)
 let handle_stable_report t ~src ~vid ~vector =
   if View.Id.equal vid t.view.View.id then begin
-    Hashtbl.replace t.stable_vectors src vector;
-    List.iter
-      (fun (sender, s) ->
+    (* Index the reporter's vector once; the floor fold then looks senders
+       up in O(1) instead of scanning an assoc list per (member, sender). *)
+    let table =
+      match Hashtbl.find_opt t.stable_vectors src with
+      | Some table ->
+          Hashtbl.reset table;
+          table
+      | None ->
+          let table = Hashtbl.create (List.length vector) in
+          Hashtbl.replace t.stable_vectors src table;
+          table
+    in
+    List.iter (fun (sender, n) -> Hashtbl.replace table sender n) vector;
+    (* Trim each stream's log up to its new stability floor.  The [trimmed]
+       watermark makes this incremental: the old code snapshotted and sorted
+       every log on every gossip report — O(streams × log size) of pure
+       allocation per report even when no floor had moved — which dominated
+       the data plane under sustained load.  Sequences below the floor are
+       delivered everywhere, so they can never re-enter the log; walking
+       [trimmed, floor) visits each stable entry exactly once over the
+       stream's lifetime. *)
+    (* vslint: allow D2 — removal-only sweep over independent streams; trimming commutes *)
+    Hashtbl.iter
+      (fun sender s ->
         let floor = stability_floor t sender in
-        if floor > 0 then
-          List.iter
-            (fun seq ->
-              if seq < floor then begin
-                Hashtbl.remove s.log seq;
-                t.s_stabilized <- t.s_stabilized + 1
-              end)
-            (Hashtblx.sorted_keys ~cmp:Int.compare s.log))
-      (Hashtblx.sorted_bindings ~cmp:Proc_id.compare t.streams)
+        if floor > s.trimmed then begin
+          for seq = s.trimmed to floor - 1 do
+            if Hashtbl.mem s.log seq then begin
+              Hashtbl.remove s.log seq;
+              t.s_stabilized <- t.s_stabilized + 1
+            end
+          done;
+          s.trimmed <- floor
+        end)
+      t.streams;
+    retire_rounds t
   end
 
 let rec stability_tick t interval () =
@@ -862,6 +1100,57 @@ let handle_nack t ~src ~vid ~sender ~missing =
         end
   end
 
+(* A batch is one sender's consecutive data messages of one view: apply the
+   stale/stash decision once, ingest every element into the stream, then
+   drain *once*.  The single drain is the receive-side win — unbatched, every
+   data message pays a full [drain_all] pass (a sorted snapshot of all
+   streams); batched, that cost is amortised over the whole round. *)
+let handle_batch t (ds : 'a Wire.data list) =
+  match ds with
+  | [] -> ()
+  | first :: _ ->
+      if not (View.Id.equal first.Wire.vid t.view.View.id) then begin
+        match t.phase with
+        | Flushing pvid when View.Id.equal first.Wire.vid pvid ->
+            (* Sent in the view we are about to install; replayed after. *)
+            List.iter (fun d -> t.stash <- d :: t.stash) ds
+        | Flushing _ | Active -> t.s_stale <- t.s_stale + List.length ds
+      end
+      else begin
+        let s = stream_for t first.Wire.sender in
+        let active = match t.phase with Active -> true | Flushing _ -> false in
+        let ingested = ref false in
+        List.iter
+          (fun (d : 'a Wire.data) ->
+            if active && d.Wire.seq = s.next && causally_ready t d then begin
+              (* In-order fast path — the common case for a batch, since a
+                 round is one sender's consecutive sequences: log and
+                 deliver directly, skipping the buffer round-trip.  [seq =
+                 next] cannot be a duplicate (delivery bumps [next] past
+                 it), and delivering here is exactly what [drain_all] would
+                 do first for this stream, so the order is unchanged. *)
+              Hashtbl.replace s.log d.Wire.seq d;
+              s.next <- s.next + 1;
+              deliver_user t d;
+              ingested := true
+            end
+            else if d.Wire.seq < s.next || Hashtbl.mem s.log d.Wire.seq then ()
+              (* duplicate: already delivered or logged *)
+            else begin
+              Hashtbl.replace s.log d.Wire.seq d;
+              Hashtbl.replace s.buffer d.Wire.seq d;
+              ingested := true
+            end)
+          ds;
+        if active && !ingested then begin
+          (* One residual drain per batch: fast-path deliveries may have
+             unblocked buffered messages (this stream's backlog, or causal
+             waiters on other streams). *)
+          drain_all t;
+          if Hashtbl.length s.buffer > 0 then arm_nack t first.Wire.sender s
+        end
+      end
+
 (* ---------- wiring ---------- *)
 
 let rec handle_payload t ~src payload =
@@ -879,6 +1168,7 @@ let rec handle_payload t ~src payload =
   | Wire.Leave_announce -> (
       match t.fd with Some fd -> Fd.forget fd src | None -> ())
   | Wire.Data d -> handle_data t d
+  | Wire.Batch ds -> handle_batch t ds
   | Wire.To_request { vid; rseq; user } -> (
       if View.Id.equal vid t.view.View.id then
         handle_to_request t ~orig:src ~rseq ~user
@@ -887,8 +1177,23 @@ let rec handle_payload t ~src payload =
         | Flushing pvid when View.Id.equal vid pvid ->
             (* For the view we are about to install: relay it once we
                have, if we turn out to be its coordinator. *)
-            t.stash_to <- t.stash_to @ [ (src, rseq, user) ]
+            Queue.add (src, rseq, user) t.stash_to
         | Flushing _ | Active -> t.s_to_dropped <- t.s_to_dropped + 1)
+  | Wire.To_batch { vid; rseq0; users } -> (
+      (* Element [i] is exactly a To_request with rseq [rseq0 + i]; the
+         coordinator's per-origin relay sequencing does the rest. *)
+      if View.Id.equal vid t.view.View.id then
+        List.iteri
+          (fun i user -> handle_to_request t ~orig:src ~rseq:(rseq0 + i) ~user)
+          users
+      else
+        match t.phase with
+        | Flushing pvid when View.Id.equal vid pvid ->
+            List.iteri
+              (fun i user -> Queue.add (src, rseq0 + i, user) t.stash_to)
+              users
+        | Flushing _ | Active ->
+            t.s_to_dropped <- t.s_to_dropped + List.length users)
   | Wire.Nack { vid; sender; missing } -> handle_nack t ~src ~vid ~sender ~missing
   | Wire.Stable_report { vid; vector } ->
       handle_stable_report t ~src ~vid ~vector
@@ -925,13 +1230,23 @@ let create sim net ~me:me_ ~universe ~config ~callbacks =
       ctl_rid = 0;
       ctl_pending = Hashtbl.create 16;
       stash = [];
-      stash_to = [];
+      stash_to = Queue.create ();
       ann = None;
       proposal = None;
       fd = None;
       est = None;
       alive = true;
       stable_vectors = Hashtbl.create 8;
+      nack_peers = [||]; (* singleton initial view: no peers *)
+      batch_rev = [];
+      batch_len = 0;
+      batch_timer = None;
+      batch_round = 0;
+      rounds_inflight = Queue.create ();
+      to_batch_rev = [];
+      to_batch_len = 0;
+      to_batch_rseq0 = 0;
+      to_batch_timer = None;
       s_views = 0;
       s_proposals = 0;
       s_data_sent = 0;
@@ -945,6 +1260,7 @@ let create sim net ~me:me_ ~universe ~config ~callbacks =
       s_stabilized = 0;
       s_ctl_retries = 0;
       s_ctl_abandoned = 0;
+      s_batches = 0;
     }
   in
   Net.register net me_ (fun env -> handle_envelope t env);
@@ -985,6 +1301,9 @@ let stop_stack t =
   t.alive <- false;
   (match t.fd with Some fd -> Fd.stop fd | None -> ());
   (match t.est with Some est -> Estimator.stop est | None -> ());
+  cancel_batch_timer t;
+  (match t.to_batch_timer with Some h -> Sim.cancel h | None -> ());
+  t.to_batch_timer <- None;
   ctl_reset t;
   abandon_proposal t
 

@@ -57,6 +57,20 @@ type config = {
   retry_limit : int;
       (** re-sends per message before giving up (the failure detector and
           flush timeout own recovery beyond that) *)
+  batching : bool;
+      (** ship outgoing data as one {!Wire.Batch} per member per flush
+          round instead of one wire message per multicast, and total-order
+          requests as {!Wire.To_batch} envelopes.  Off by default: the
+          unbatched wire format (and the byte-identical traces of existing
+          seeded repros) is preserved exactly. *)
+  batch_window : float;
+      (** a flush round closes this long after its first buffered message *)
+  batch_max : int;  (** ... or as soon as it holds this many messages *)
+  pipeline_depth : int;
+      (** maximum shipped-but-not-yet-stable flush rounds before the next
+          round is held back (requires [stability_interval]).  [1] is
+          stop-and-wait; larger keeps the pipe full; [0] disables flow
+          control (open loop). *)
 }
 
 val default_config : config
@@ -132,6 +146,33 @@ type stats = {
       (** control-plane re-sends by the reliable-delivery layer *)
   ctl_abandoned : int;
       (** reliable sends given up on (peer dead or [retry_limit] hit) *)
+  batches_sent : int;
+      (** {!Wire.Batch} rounds shipped (0 unless [config.batching]) *)
 }
 
 val stats : ('a, 'ann) t -> stats
+
+(** {2 Test hooks}
+
+    Pure re-exports of internal hot-path computations, so tests can pin the
+    optimised implementations against independent references without
+    standing up an endpoint. *)
+
+val stability_floor_of :
+  vectors:(Proc_id.t * (Proc_id.t * int) list) list ->
+  members:Proc_id.t list ->
+  sender:Proc_id.t ->
+  int
+(** The view's stability floor for [sender] given each member's reported
+    delivered-prefix vector — the member-wise minimum, 0 for members that
+    have not reported (and [max_int] with no members, as internally). *)
+
+val nack_targets_of :
+  me:Proc_id.t ->
+  members:Proc_id.t list ->
+  sender:Proc_id.t ->
+  rounds:int ->
+  Proc_id.t list
+(** The first [rounds] NACK retransmission targets for a gap in [sender]'s
+    stream as seen by [me]: the sender first, then round-robin over the
+    other members in member order. *)

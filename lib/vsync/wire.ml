@@ -18,6 +18,8 @@ type ('a, 'ann) t =
   | Leave_announce
   | Data of 'a data
   | To_request of { vid : View.Id.t; rseq : int; user : 'a }
+  | Batch of 'a data list
+  | To_batch of { vid : View.Id.t; rseq0 : int; users : 'a list }
   | Nack of { vid : View.Id.t; sender : Proc_id.t; missing : int list }
   | Stable_report of { vid : View.Id.t; vector : (Proc_id.t * int) list }
   | Retransmit of 'a data list
@@ -63,6 +65,10 @@ let rec size_of ~user ~ann = function
   | Leave_announce -> header
   | Data d -> size_of_data ~user d
   | To_request { user = u; _ } -> header + id_size + user u
+  | Batch ds ->
+      List.fold_left (fun acc d -> acc + size_of_data ~user d) header ds
+  | To_batch { users; _ } ->
+      List.fold_left (fun acc u -> acc + 4 + user u) (header + id_size) users
   | Nack { missing; _ } -> header + (2 * id_size) + (4 * List.length missing)
   | Stable_report { vector; _ } ->
       header + id_size + (12 * List.length vector)
@@ -110,9 +116,26 @@ let rec ident ~user = function
   | Data d -> user (body_user d.body)
   | To_request { user = u; _ } -> user u
   | Reliable { payload; _ } -> ident ~user payload
+  | Heartbeat | Leave_announce | Batch _ | To_batch _ | Nack _
+  | Stable_report _ | Retransmit _ | Ctl_ack _ | Propose _ | Propose_reject _
+  | Flush_ack _ | Install _ ->
+      None
+
+(* Every application message a wire message carries: the per-payload version
+   of [ident], for batch-aware lineage accounting.  [Batch]/[To_batch] report
+   one identity per carried payload so Full-level Send/Recv/Drop/Dup events
+   stay per-payload and conservation holds; [Retransmit] still reports none
+   (the typed [Event.Retransmit] covers re-sends, and counting them as fresh
+   copies would double-book the originals). *)
+let rec idents ~user = function
+  | Batch ds -> List.filter_map (fun d -> user (body_user d.body)) ds
+  | To_batch { users; _ } -> List.filter_map user users
+  | Reliable { payload; _ } -> idents ~user payload
+  | (Data _ | To_request _) as w -> (
+      match ident ~user w with Some x -> [ x ] | None -> [])
   | Heartbeat | Leave_announce | Nack _ | Stable_report _ | Retransmit _
   | Ctl_ack _ | Propose _ | Propose_reject _ | Flush_ack _ | Install _ ->
-      None
+      []
 
 let rec kind = function
   | Heartbeat -> "heartbeat"
@@ -121,6 +144,8 @@ let rec kind = function
   | Data { body = Relay _; _ } -> "relay"
   | Data { body = Causal _; _ } -> "causal"
   | To_request _ -> "to-request"
+  | Batch _ -> "batch"
+  | To_batch _ -> "to-batch"
   | Nack _ -> "nack"
   | Stable_report _ -> "stable"
   | Retransmit _ -> "retransmit"

@@ -31,6 +31,17 @@ type ('a, 'ann) t =
       (** Ask the view coordinator to relay [user] in total order; [rseq]
           sequences the origin's requests so the relay preserves per-origin
           FIFO even when requests race on the wire. *)
+  | Batch of 'a data list
+      (** Several data messages of one sender's stream, shipped in one wire
+          message — the batched data plane.  All elements share [sender] and
+          [vid]; sequence numbers were assigned at multicast time, so each
+          payload keeps its identity for flush reports, NACK recovery and the
+          oracle.  Receivers ingest every element and drain once. *)
+  | To_batch of { vid : Vs_gms.View.Id.t; rseq0 : int; users : 'a list }
+      (** Several total-order requests from one origin in one reliable
+          envelope: element [i] carries request sequence number
+          [rseq0 + i].  The coordinator relays them exactly as if they had
+          arrived as individual {!To_request}s. *)
   | Nack of {
       vid : Vs_gms.View.Id.t;
       sender : Vs_net.Proc_id.t;
@@ -95,6 +106,14 @@ val ident : user:('a -> 'b option) -> ('a, 'ann) t -> 'b option
 (** The identity of the single application message this wire message
     carries, as extracted from its payload by [user]: [Data] (through
     [Relay]/[Causal] bodies), [To_request], and [Reliable] recursively;
-    [None] for control traffic and [Retransmit] batches.  Used to thread the
-    (origin, seq) correlation identity into Full-level observability
-    events. *)
+    [None] for control traffic, [Batch]/[To_batch] (which carry many — see
+    {!idents}) and [Retransmit] batches.  Used to thread the (origin, seq)
+    correlation identity into Full-level observability events. *)
+
+val idents : user:('a -> 'b option) -> ('a, 'ann) t -> 'b list
+(** Every application-message identity this wire message carries: singleton
+    (or empty) wherever {!ident} applies, one entry per payload for
+    [Batch]/[To_batch], and [] for [Retransmit] (re-sends are covered by the
+    typed [Event.Retransmit], not counted as fresh copies).  The batch-aware
+    generalisation the network layer uses to emit per-payload Full-level
+    events, keeping lineage conservation per-payload. *)

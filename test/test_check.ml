@@ -362,6 +362,70 @@ let test_mutation_inverted_delivery_breaks_fifo () =
   assert_mentions (explain_text violations)
     [ "violated: per-sender fifo order"; "message: "; obs_vid vid ]
 
+(* ---------- batching on/off equivalence ---------- *)
+
+module Endpoint = Vs_vsync.Endpoint
+
+(* The batched wire format is an encoding change, not a semantic one: the
+   same seeded run — same traffic schedule, same crash — must produce the
+   same oracle verdicts and the same per-process delivery sequence whether
+   payloads ship one per wire message or grouped into Wire.Batch rounds.
+   View identifiers may differ (batching shifts data-plane timing), so the
+   comparison is over message identities, which the cluster assigns
+   independently of the wire. *)
+let equivalence_run ~config =
+  let c = Vc.create ~seed:4242L ~config ~n:4 () in
+  let sim = Vc.sim c in
+  Vc.run c ~until:1.0;
+  for i = 0 to 29 do
+    ignore
+      (Sim.at sim
+         (1.0 +. (0.02 *. float_of_int i))
+         (fun () ->
+           let node = i mod 4 in
+           let order =
+             if i mod 3 = 0 then Endpoint.Total else Endpoint.Fifo
+           in
+           Vc.multicast_from c ~node ~order ()))
+  done;
+  Vc.run_script c [ (2.0, Faults.Crash 3) ];
+  Vc.run c ~until:5.0;
+  c
+
+let test_batching_equivalence () =
+  let base =
+    {
+      Endpoint.default_config with
+      Endpoint.stability_interval = Some 0.05;
+      batch_max = 32;
+      pipeline_depth = 4;
+    }
+  in
+  let c_off = equivalence_run ~config:base in
+  let c_on = equivalence_run ~config:{ base with Endpoint.batching = true } in
+  let o_off = Vc.oracle c_off and o_on = Vc.oracle c_on in
+  check (Alcotest.list Alcotest.string) "identical oracle verdicts"
+    (Oracle.check_all o_off) (Oracle.check_all o_on);
+  check (Alcotest.list Alcotest.string) "and both clean" []
+    (Oracle.check_all o_on);
+  List.iter
+    (fun node ->
+      let proc = p node in
+      let seq o =
+        List.map
+          (fun (_, m) -> Oracle.msg_id_to_string m)
+          (Oracle.deliveries_of o ~proc)
+      in
+      check
+        (Alcotest.list Alcotest.string)
+        (Printf.sprintf "node %d: identical delivery sequence" node)
+        (seq o_off) (seq o_on))
+    [ 0; 1; 2; 3 ];
+  check Alcotest.bool "unbatched arm sent no batches" true
+    ((Vc.stats_total c_off).Endpoint.batches_sent = 0);
+  check Alcotest.bool "batched arm sent batches" true
+    ((Vc.stats_total c_on).Endpoint.batches_sent > 0)
+
 (* ---------- corpus replay ---------- *)
 
 let test_corpus_replays_clean () =
@@ -420,6 +484,11 @@ let () =
             test_mutation_spurious_message_breaks_integrity;
           Alcotest.test_case "inverted delivery -> fifo" `Quick
             test_mutation_inverted_delivery_breaks_fifo;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "on/off wire equivalence" `Quick
+            test_batching_equivalence;
         ] );
       ( "corpus",
         [

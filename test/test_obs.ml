@@ -220,26 +220,13 @@ let test_metrics_derivation () =
 
 (* ---------- lineage conservation on a seeded lossy run ---------- *)
 
-(* E11-style network: substantial loss and duplication.  Every send the
-   stream records must be accounted for — delivered, dropped with a reason,
-   or still in flight at shutdown — and no data-path event may reference a
-   message the fold did not track. *)
-let test_lineage_conservation () =
-  let spec = Campaign.generate ~seed:13 ~nodes:4 ~quick:true () in
-  let spec =
-    {
-      spec with
-      Campaign.knobs =
-        {
-          spec.Campaign.knobs with
-          Campaign.loss_prob = 0.2;
-          dup_prob = 0.08;
-        };
-    }
-  in
-  let recorder = Recorder.create ~level:Recorder.Full () in
-  let (_ : Campaign.outcome) = Campaign.run ~obs:recorder spec in
-  let entries = Recorder.entries recorder in
+(* Every send the stream records must be accounted for — delivered, dropped
+   with a reason, or still in flight at shutdown — and no data-path event
+   may reference a message the fold did not track.  Shared between the
+   unbatched campaign run and the batched-wire cluster run below: the
+   conservation law is per payload, so it must survive payloads travelling
+   inside {!Vs_vsync.Wire.Batch} envelopes unchanged. *)
+let assert_conservation entries =
   let lng = Lineage.of_entries entries in
   check Alcotest.bool "messages tracked" true (lng.Lineage.lifecycles <> []);
   (* no orphans: every identity-carrying event belongs to a lifecycle *)
@@ -320,6 +307,59 @@ let test_lineage_conservation () =
   check Alcotest.int "query counting agrees with the fold" (sends_q + dups_q)
     copies
 
+(* E11-style network: substantial loss and duplication, unbatched wire. *)
+let test_lineage_conservation () =
+  let spec = Campaign.generate ~seed:13 ~nodes:4 ~quick:true () in
+  let spec =
+    {
+      spec with
+      Campaign.knobs =
+        {
+          spec.Campaign.knobs with
+          Campaign.loss_prob = 0.2;
+          dup_prob = 0.08;
+        };
+    }
+  in
+  let recorder = Recorder.create ~level:Recorder.Full () in
+  let (_ : Campaign.outcome) = Campaign.run ~obs:recorder spec in
+  assert_conservation (Recorder.entries recorder)
+
+(* The same conservation law with batching on: payloads travel inside
+   Wire.Batch envelopes, but the Full-level stream still records one
+   identity-carrying event per payload copy, so the per-message ledger must
+   balance exactly as in the unbatched run. *)
+let test_lineage_conservation_batched () =
+  let module Vc = Vs_harness.Vsync_cluster in
+  let module Endpoint = Vs_vsync.Endpoint in
+  let recorder = Recorder.create ~level:Recorder.Full () in
+  let config =
+    {
+      Endpoint.default_config with
+      Endpoint.batching = true;
+      stability_interval = Some 0.05;
+      pipeline_depth = 4;
+      batch_max = 32;
+    }
+  in
+  let net_config =
+    {
+      Vs_net.Net.default_config with
+      Vs_net.Net.drop_prob = 0.15;
+      dup_prob = 0.05;
+    }
+  in
+  let c = Vc.create ~seed:909L ~obs:recorder ~net_config ~config ~n:4 () in
+  Vc.run c ~until:1.5;
+  for _ = 1 to 30 do
+    Vc.multicast_from c ~node:0 ();
+    Vc.multicast_from c ~node:1 ~order:Endpoint.Total ()
+  done;
+  Vc.run c ~until:6.0;
+  check Alcotest.bool "the batched wire was exercised" true
+    ((Vc.stats_total c).Endpoint.batches_sent > 0);
+  assert_conservation (Recorder.entries recorder)
+
 (* ---------- canonical JSON ---------- *)
 
 let test_json_canonical () =
@@ -386,6 +426,8 @@ let () =
       ( "lineage",
         [
           Alcotest.test_case "conservation" `Quick test_lineage_conservation;
+          Alcotest.test_case "conservation (batched wire)" `Quick
+            test_lineage_conservation_batched;
         ] );
       ( "json", [ Alcotest.test_case "canonical" `Quick test_json_canonical ] );
       ( "trace-shim", [ Alcotest.test_case "compat" `Quick test_trace_shim ] );

@@ -526,6 +526,151 @@ let test_lossy_campaign () =
   Cluster.run c ~until:9.0;
   no_errors "lossy campaign" (Oracle.check_all (Cluster.oracle c))
 
+(* ---------- data-plane hot paths: stash, stability floor, NACK, batching ---------- *)
+
+(* Regression for the flush stash: multicasts issued while a view change is
+   in progress are stashed until the next install.  The stash used to be
+   rebuilt by list append per message — quadratic in a burst like this one —
+   and is now a queue; what must not change is that the burst survives the
+   install complete and in per-origin order. *)
+let test_stash_order_during_flush () =
+  let c = Cluster.create ~seed:515L ~n:3 () in
+  Cluster.run c ~until:1.0;
+  Cluster.apply_action c (Faults.Crash 2);
+  let sim = Cluster.sim c in
+  ignore
+    (Sim.after sim 0.16 (fun () ->
+         (* Inside the membership change window. *)
+         for _ = 1 to 40 do
+           Cluster.multicast_from c ~node:0 ~order:Endpoint.Total ();
+           Cluster.multicast_from c ~node:1 ~order:Endpoint.Total ()
+         done));
+  Cluster.run c ~until:6.0;
+  let oracle = Cluster.oracle c in
+  no_errors "stash burst" (Oracle.check_all oracle);
+  List.iter
+    (fun node ->
+      let proc = Proc_id.initial node in
+      let mids = List.map snd (Oracle.deliveries_of oracle ~proc) in
+      check Alcotest.int
+        (Printf.sprintf "node %d delivers the whole burst" node)
+        80 (List.length mids);
+      (* Delivery order must respect multicast order per origin. *)
+      let last = Hashtbl.create 4 in
+      List.iter
+        (fun (m : Oracle.msg_id) ->
+          (match Hashtbl.find_opt last m.Oracle.m_sender with
+          | Some prev when prev >= m.Oracle.m_index ->
+              Alcotest.failf "node %d: origin order broken (%d after %d)" node
+                m.Oracle.m_index prev
+          | _ -> ());
+          Hashtbl.replace last m.Oracle.m_sender m.Oracle.m_index)
+        mids)
+    [ 0; 1 ]
+
+(* The stability floor used to be an assoc-list scan per (member, sender)
+   pair; it is now a table-based fold.  Pin the rewrite against the original
+   List.assoc_opt formulation on random report states. *)
+let stability_floor_reference ~vectors ~members ~sender =
+  List.fold_left
+    (fun floor member ->
+      let reported =
+        match List.assoc_opt member vectors with
+        | None -> 0
+        | Some vector -> (
+            match List.assoc_opt sender vector with Some n -> n | None -> 0)
+      in
+      min floor reported)
+    max_int members
+
+let test_stability_floor_matches_reference () =
+  let rng = Vs_util.Rng.create 626L in
+  let procs = Array.init 8 Proc_id.initial in
+  for _ = 1 to 300 do
+    let m = 1 + Vs_util.Rng.int rng 8 in
+    let members = List.init m (fun i -> procs.(i)) in
+    let vectors =
+      List.filter_map
+        (fun member ->
+          if Vs_util.Rng.bool rng 0.8 then
+            Some
+              ( member,
+                List.filter_map
+                  (fun s ->
+                    if Vs_util.Rng.bool rng 0.7 then
+                      Some (s, Vs_util.Rng.int rng 50)
+                    else None)
+                  members )
+          else None)
+        members
+    in
+    List.iter
+      (fun sender ->
+        check Alcotest.int "floor matches assoc-list reference"
+          (stability_floor_reference ~vectors ~members ~sender)
+          (Endpoint.stability_floor_of ~vectors ~members ~sender))
+      members
+  done
+
+(* The NACK retransmission rotation used to pick each round's target with
+   List.nth over a freshly filtered peer list; it now indexes a cached
+   array.  The rotation must be byte-identical to the old selection. *)
+let nack_target_reference ~me ~members ~sender ~round =
+  if round = 0 then sender
+  else
+    let peers = List.filter (fun m -> not (Proc_id.equal m me)) members in
+    match peers with
+    | [] -> sender
+    | _ -> List.nth peers (round mod List.length peers)
+
+let test_nack_targets_match_reference () =
+  let rng = Vs_util.Rng.create 727L in
+  let procs = Array.init 7 Proc_id.initial in
+  for _ = 1 to 200 do
+    let m = 1 + Vs_util.Rng.int rng 7 in
+    let members = List.init m (fun i -> procs.(i)) in
+    let me = procs.(Vs_util.Rng.int rng m) in
+    let sender = procs.(Vs_util.Rng.int rng m) in
+    let rounds = 12 in
+    let expected =
+      List.init rounds (fun round ->
+          nack_target_reference ~me ~members ~sender ~round)
+    in
+    let got = Endpoint.nack_targets_of ~me ~members ~sender ~rounds in
+    check Alcotest.bool "nack rotation matches List.nth reference" true
+      (List.length got = rounds && List.for_all2 Proc_id.equal expected got)
+  done
+
+(* The batched wire format under loss, duplication and a crash: the full VS
+   spec must hold, and batch rounds must actually have been shipped. *)
+let batched_config =
+  {
+    Endpoint.default_config with
+    Endpoint.batching = true;
+    stability_interval = Some 0.05;
+    pipeline_depth = 4;
+    batch_max = 32;
+  }
+
+let test_batched_lossy_run () =
+  let net_config =
+    { Net.default_config with Net.drop_prob = 0.1; Net.dup_prob = 0.05 }
+  in
+  let c = Cluster.create ~seed:808L ~net_config ~config:batched_config ~n:4 () in
+  Cluster.run c ~until:1.5;
+  for _ = 1 to 40 do
+    Cluster.multicast_from c ~node:0 ();
+    Cluster.multicast_from c ~node:1 ~order:Endpoint.Total ();
+    Cluster.multicast_from c ~node:2 ()
+  done;
+  Cluster.run c ~until:4.0;
+  Cluster.apply_action c (Faults.Crash 3);
+  Cluster.run c ~until:8.0;
+  no_errors "batched lossy run" (Oracle.check_all (Cluster.oracle c));
+  let st = Cluster.stats_total c in
+  check Alcotest.bool "batch rounds shipped" true (st.Endpoint.batches_sent > 0);
+  check Alcotest.bool "stable view reached" true (Cluster.stable_view_reached c)
+
 let () =
   Alcotest.run "vs_vsync"
     [
@@ -571,6 +716,16 @@ let () =
         ] );
       ( "annotations",
         [ Alcotest.test_case "collected at flush" `Quick test_annotations_collected ] );
+      ( "hot paths",
+        [
+          Alcotest.test_case "stash order during flush" `Quick
+            test_stash_order_during_flush;
+          Alcotest.test_case "stability floor vs reference" `Quick
+            test_stability_floor_matches_reference;
+          Alcotest.test_case "nack rotation vs reference" `Quick
+            test_nack_targets_match_reference;
+          Alcotest.test_case "batched lossy run" `Quick test_batched_lossy_run;
+        ] );
       ( "campaigns",
         [
           QCheck_alcotest.to_alcotest ~long:false random_campaign_property;
