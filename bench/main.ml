@@ -164,6 +164,23 @@ let words_per_send_batch ~level =
   done;
   (Gc.minor_words () -. w0) /. float_of_int sends
 
+(* The stabilization arc compiles corruption hooks (Endpoint.corrupt and its
+   obs events) into the protocol library.  They live on endpoint state, not
+   the wire — so after actually exercising one against a live cluster, the
+   off-path send allocation must still match the pre-corruption baseline to
+   the word. *)
+let exercise_corruption_hooks () =
+  let module Cluster = Vs_harness.Vsync_cluster in
+  let module Endpoint = Vs_vsync.Endpoint in
+  let c = Cluster.create ~seed:17L ~n:3 () in
+  Cluster.run c ~until:2.0;
+  (match Cluster.endpoint_on c 0 with
+  | Some ep ->
+      ignore (Endpoint.corrupt ep (Endpoint.Seq_skew 3) : string);
+      ignore (Endpoint.corrupt ep (Endpoint.Stability_smear (1, 4)) : string)
+  | None -> ());
+  Cluster.run c ~until:3.0
+
 let run_obs () =
   print_endline "### OBS — observability overhead (instrumentation off vs on)\n";
   (* 1. The send fast path must not allocate for instrumentation unless the
@@ -201,6 +218,18 @@ let run_obs () =
       "OBS FAILURE: batched send allocates %+.1f extra words at Protocol \
        level (expected zero off-path overhead)\n"
       (proto_b -. off_b);
+    exit 1
+  end;
+  (* 1b. Corruption hooks compiled in and exercised must leave the off-path
+     send allocation word-for-word where it was. *)
+  exercise_corruption_hooks ();
+  let off_pc = words_per_send ~level:Recorder.Off in
+  let proto_pc = words_per_send ~level:Recorder.Protocol in
+  if off_pc <> off || proto_pc <> proto then begin
+    Printf.printf
+      "OBS FAILURE: send allocation moved after exercising corruption hooks \
+       (off %.1f -> %.1f, protocol %.1f -> %.1f words/send)\n"
+      off off_pc proto proto_pc;
     exit 1
   end;
   (* 2. Whole-experiment allocation deltas, instrumentation off vs Full, via
@@ -275,6 +304,8 @@ let run_obs () =
               ("full", Json.Float full_b);
             ] );
         ("zero_alloc_off_path_batched", Json.Bool (proto_b = off_b));
+        ( "zero_alloc_off_path_post_corruption",
+          Json.Bool (off_pc = off && proto_pc = proto) );
         ( "experiments",
           Json.Arr
             (List.map

@@ -292,6 +292,15 @@ let check_cmd =
       & info [ "metrics" ]
           ~doc:"Print the derived metrics summary (counters, histograms).")
   in
+  let transient =
+    Arg.(
+      value & flag
+      & info [ "transient" ]
+          ~doc:
+            "Add the transient-corruption axis: campaigns also inject typed \
+             state corruptions and runs are judged by the stabilization \
+             oracle (bounded recovery after the last corruption).")
+  in
   let replay_file ~metrics ~obs_level file =
     match Repro.load file with
     | Error msg ->
@@ -309,7 +318,8 @@ let check_cmd =
           print_string (Metrics.to_text (Metrics.of_entries (Recorder.entries obs)));
         if not (Explain_run.clean report) then exit 1
   in
-  let sweep seeds start_seed nodes quick no_shrink corpus verbose metrics =
+  let sweep seeds start_seed nodes quick no_shrink corpus verbose metrics
+      transient =
     let progress =
       if verbose then
         Some
@@ -323,8 +333,8 @@ let check_cmd =
       else None
     in
     let report =
-      Explorer.explore ~start_seed ~shrink:(not no_shrink) ?progress ~seeds
-        ~nodes ~quick ()
+      Explorer.explore ~start_seed ~transient ~shrink:(not no_shrink) ?progress
+        ~seeds ~nodes ~quick ()
     in
     Printf.printf
       "explored %d seeds (%d campaigns, both protocols): %d events, %d \
@@ -338,8 +348,8 @@ let check_cmd =
         (* Representative metrics: re-run the first seed's VS campaign with
            recording on. *)
         let spec =
-          Campaign.generate ~protocol:Vs_harness.Driver.Vsync ~seed:start_seed
-            ~nodes ~quick ()
+          Campaign.generate ~protocol:Vs_harness.Driver.Vsync ~transient
+            ~seed:start_seed ~nodes ~quick ()
         in
         let obs = Recorder.create ~level:Recorder.Protocol () in
         ignore (Campaign.run ~obs spec);
@@ -388,10 +398,12 @@ let check_cmd =
     end
   in
   let run seeds start_seed nodes quick no_shrink corpus replay verbose metrics
-      obs_level =
+      transient obs_level =
     match replay with
     | Some file -> replay_file ~metrics ~obs_level file
-    | None -> sweep seeds start_seed nodes quick no_shrink corpus verbose metrics
+    | None ->
+        sweep seeds start_seed nodes quick no_shrink corpus verbose metrics
+          transient
   in
   Cmd.v
     (Cmd.info "check"
@@ -401,7 +413,7 @@ let check_cmd =
           failure to a minimal repro artifact, or replay one artifact.")
     Term.(
       const run $ seeds $ start_seed $ check_nodes $ quick $ no_shrink $ corpus
-      $ replay $ verbose $ metrics $ obs_level_arg Recorder.Full)
+      $ replay $ verbose $ metrics $ transient $ obs_level_arg Recorder.Full)
 
 (* ---------- explain ---------- *)
 

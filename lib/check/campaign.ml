@@ -27,6 +27,7 @@ type spec = {
   traffic_gap : float;
   traffic_until : float;
   horizon : float;
+  transient : bool;
 }
 
 let equal_spec (a : spec) (b : spec) = a = b
@@ -49,11 +50,12 @@ let describe spec =
     (List.length spec.script)
     spec.knobs.loss_prob spec.knobs.dup_prob spec.knobs.delay_min
     spec.knobs.delay_max spec.traffic_gap spec.horizon
+  ^ if spec.transient then " transient" else ""
 
 (* Derive every campaign parameter from the integer seed.  The derivation
    rng is independent of the cluster seed (offset by a large odd constant)
    so knob sampling never correlates with in-run randomness. *)
-let generate ?protocol ~seed ~nodes ~quick () =
+let generate ?protocol ?(transient = false) ~seed ~nodes ~quick () =
   let seed64 = Int64.of_int seed in
   let rng = Rng.create (Int64.add (Int64.mul seed64 2654435761L) 97531L) in
   let protocol =
@@ -72,8 +74,13 @@ let generate ?protocol ~seed ~nodes ~quick () =
   let duration = if quick then 3.0 else 6.0 in
   let mean_gap = Rng.uniform rng 0.3 0.8 in
   let node_list = List.init nodes (fun i -> i) in
+  (* The transient axis draws its weight only when enabled, so the
+     derivation stream — and every existing seed's campaign — is unchanged
+     in the default mode. *)
+  let corrupt_weight = if transient then Rng.uniform rng 0.8 1.6 else 0.0 in
   let script =
-    Faults.random_script rng ~nodes:node_list ~start:1.0 ~duration ~mean_gap ()
+    Faults.random_script rng ~nodes:node_list ~start:1.0 ~duration ~mean_gap
+      ~corrupt_weight ()
   in
   let traffic_gap =
     if Rng.bool rng 0.1 then 0. else Rng.uniform rng 0.02 0.08
@@ -88,8 +95,10 @@ let generate ?protocol ~seed ~nodes ~quick () =
     traffic_until = 1.0 +. duration +. 0.5;
     (* The closing heal/recover lands at [start + duration]; leave a quiet
        settling tail so checks run against a stabilized cluster even under
-       loss (retry backoff needs the slack). *)
+       loss (retry backoff needs the slack).  Transient scripts end with a
+       crash/recover kick at [+0.15/+0.25], well inside the tail. *)
     horizon = 1.0 +. duration +. 5.0;
+    transient;
   }
 
 type outcome = Driver.outcome = {
@@ -101,6 +110,7 @@ type outcome = Driver.outcome = {
   eview_changes : int;
   events : int;
   stable : bool;
+  quarantine : Driver.quarantine option;
 }
 
 let run ?obs spec =

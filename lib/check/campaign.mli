@@ -31,6 +31,9 @@ type spec = {
   traffic_gap : float; (** mean gap between app multicasts; [<= 0.] = none *)
   traffic_until : float;
   horizon : float;     (** run the simulation until this virtual time *)
+  transient : bool;
+      (** the script may contain {!Faults.Corrupt} actions and the run is
+          judged by the stabilization oracle *)
 }
 
 val equal_spec : spec -> spec -> bool
@@ -43,12 +46,22 @@ val describe : spec -> string
 (** One-line summary: seed, protocol, sizes, knobs. *)
 
 val generate :
-  ?protocol:Driver.protocol -> seed:int -> nodes:int -> quick:bool -> unit -> spec
+  ?protocol:Driver.protocol ->
+  ?transient:bool ->
+  seed:int ->
+  nodes:int ->
+  quick:bool ->
+  unit ->
+  spec
 (** Deterministically derive a campaign from an integer seed: a random fault
     script over the given node count plus randomized network-fault knobs
     (loss up to 15%, duplication up to 10%, widened delay jitter, randomized
     traffic rate).  [quick] shortens the churn window.  [protocol] defaults
-    to a seed-determined choice; the explorer passes both explicitly. *)
+    to a seed-determined choice; the explorer passes both explicitly.
+    [transient] (default false) adds the transient-corruption axis: the
+    script draws {!Faults.Corrupt} actions with a seed-derived weight and
+    the run is judged by the stabilization oracle.  With [transient] off
+    the derivation is byte-identical to the pre-transient generator. *)
 
 type outcome = Driver.outcome = {
   violations : string list;
@@ -59,6 +72,7 @@ type outcome = Driver.outcome = {
   eview_changes : int;
   events : int;
   stable : bool;
+  quarantine : Driver.quarantine option;
 }
 
 val run : ?obs:Vs_obs.Recorder.t -> spec -> outcome

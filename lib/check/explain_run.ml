@@ -9,6 +9,7 @@ module Event = Vs_obs.Event
 module Explain = Vs_obs.Explain
 module Lineage = Vs_obs.Lineage
 module Json = Vs_obs.Json
+module Driver = Vs_harness.Driver
 
 type t = {
   header : string list;  (* spec description + headline counters *)
@@ -35,6 +36,20 @@ let build ~(spec : Campaign.spec) ~(outcome : Campaign.outcome) ~entries =
         outcome.Campaign.deliveries outcome.installs outcome.distinct_views
         outcome.eview_changes outcome.events outcome.stable;
     ]
+    @
+    match outcome.Campaign.quarantine with
+    | None -> []
+    | Some q ->
+        [
+          Printf.sprintf
+            "stabilization: bound=%d fresh-views=%d recovered=%s \
+             quarantined=%d"
+            q.Driver.q_bound q.Driver.q_views
+            (match q.Driver.q_cut with
+            | Some c -> Printf.sprintf "t=%.3f" c
+            | None -> "never")
+            q.Driver.q_quarantined;
+        ]
   in
   let explanations =
     List.map (Explain.explain ~lineage ~entries) outcome.Campaign.verdicts

@@ -19,7 +19,8 @@ type report = {
 }
 
 let explore ?(start_seed = 1) ?(protocols = [ Driver.Vsync; Driver.Evs ])
-    ?(shrink = true) ?max_shrink_attempts ?progress ~seeds ~nodes ~quick () =
+    ?(transient = false) ?(shrink = true) ?max_shrink_attempts ?progress
+    ~seeds ~nodes ~quick () =
   let campaigns = ref 0 in
   let total_events = ref 0 in
   let total_deliveries = ref 0 in
@@ -28,7 +29,7 @@ let explore ?(start_seed = 1) ?(protocols = [ Driver.Vsync; Driver.Evs ])
   for seed = start_seed to start_seed + seeds - 1 do
     List.iter
       (fun protocol ->
-        let spec = Campaign.generate ~protocol ~seed ~nodes ~quick () in
+        let spec = Campaign.generate ~protocol ~transient ~seed ~nodes ~quick () in
         let outcome = Campaign.run spec in
         incr campaigns;
         total_events := !total_events + outcome.Campaign.events;

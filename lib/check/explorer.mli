@@ -30,6 +30,7 @@ type report = {
 val explore :
   ?start_seed:int ->
   ?protocols:Driver.protocol list ->
+  ?transient:bool ->
   ?shrink:bool ->
   ?max_shrink_attempts:int ->
   ?progress:(seed:int -> Campaign.spec -> Campaign.outcome -> unit) ->
@@ -40,4 +41,6 @@ val explore :
   report
 (** [explore ~seeds:n] sweeps seeds [start_seed .. start_seed + n - 1]
     (default start 1) over both protocols (default), shrinking failures
-    (default on).  [progress] is invoked after every campaign. *)
+    (default on).  [transient] (default false) adds the transient-corruption
+    axis to every generated campaign.  [progress] is invoked after every
+    campaign. *)

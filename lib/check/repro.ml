@@ -91,6 +91,16 @@ let float_atom f =
 
 let field name value = List [ Atom name; value ]
 
+let corruption_to_sexp = function
+  | Faults.Seq_skew k -> [ Atom "seq-skew"; Atom (string_of_int k) ]
+  | Faults.Stability_smear (node, amount) ->
+      [ Atom "stability-smear"; Atom (string_of_int node);
+        Atom (string_of_int amount) ]
+  | Faults.View_skew k -> [ Atom "view-skew"; Atom (string_of_int k) ]
+  | Faults.Deps_truncate (node, k) ->
+      [ Atom "deps-truncate"; Atom (string_of_int node);
+        Atom (string_of_int k) ]
+
 let action_to_sexp = function
   | Faults.Heal -> List [ Atom "heal" ]
   | Faults.Crash node -> List [ Atom "crash"; Atom (string_of_int node) ]
@@ -101,10 +111,12 @@ let action_to_sexp = function
         :: List.map
              (fun comp -> List (List.map (fun x -> Atom (string_of_int x)) comp))
              comps)
+  | Faults.Corrupt (node, c) ->
+      List (Atom "corrupt" :: Atom (string_of_int node) :: corruption_to_sexp c)
 
 let spec_to_sexp (spec : Campaign.spec) =
   List
-    [
+    ([
       field "seed" (Atom (Int64.to_string spec.Campaign.seed));
       field "protocol" (Atom (Driver.protocol_to_string spec.Campaign.protocol));
       field "nodes" (Atom (string_of_int spec.Campaign.nodes));
@@ -115,13 +127,20 @@ let spec_to_sexp (spec : Campaign.spec) =
       field "traffic-gap" (Atom (float_atom spec.Campaign.traffic_gap));
       field "traffic-until" (Atom (float_atom spec.Campaign.traffic_until));
       field "horizon" (Atom (float_atom spec.Campaign.horizon));
+    ]
+    (* Only transient specs carry the flag, so artifacts saved by the
+       pre-transient grammar stay byte-identical on a save/load round
+       trip. *)
+    @ (if spec.Campaign.transient then [ field "transient" (Atom "true") ]
+       else [])
+    @ [
       field "script"
         (List
            (List.map
               (fun (time, action) ->
                 List [ Atom (float_atom time); action_to_sexp action ])
               spec.Campaign.script));
-    ]
+    ])
 
 let to_string spec =
   (* One field per line keeps the artifacts diffable. *)
@@ -157,6 +176,18 @@ let action_of_sexp = function
              | List nodes -> List.map as_int nodes
              | Atom _ -> fail "partition component must be a list")
            comps)
+  | List (Atom "corrupt" :: node :: kind) ->
+      let c =
+        match kind with
+        | [ Atom "seq-skew"; k ] -> Faults.Seq_skew (as_int k)
+        | [ Atom "stability-smear"; m; amount ] ->
+            Faults.Stability_smear (as_int m, as_int amount)
+        | [ Atom "view-skew"; k ] -> Faults.View_skew (as_int k)
+        | [ Atom "deps-truncate"; m; k ] ->
+            Faults.Deps_truncate (as_int m, as_int k)
+        | _ -> fail "unknown corruption kind"
+      in
+      Faults.Corrupt (as_int node, c)
   | s -> fail "unknown action %S" (sexp_to_string s)
 
 let spec_of_sexp sexp =
@@ -214,6 +245,12 @@ let spec_of_sexp sexp =
     traffic_gap = as_float (get "traffic-gap");
     traffic_until = as_float (get "traffic-until");
     horizon = as_float (get "horizon");
+    (* Optional so artifacts written by the pre-transient grammar parse
+       unchanged. *)
+    transient =
+      (match List.assoc_opt "transient" fields with
+      | Some (Atom "true") -> true
+      | Some _ | None -> false);
   }
 
 let of_string text =

@@ -13,6 +13,12 @@
               (2.5 (heal)) (3.01 (recover 2)))))
     v}
 
+    Transient campaigns additionally carry a [(transient true)] field
+    (omitted when false, so pre-transient artifacts round-trip
+    byte-identically) and [(corrupt <node> <kind> <args>)] script actions
+    with kinds [seq-skew k], [stability-smear m a], [view-skew k],
+    [deps-truncate m k].
+
     Floats are printed with round-trip precision, so
     [of_string (to_string spec) = Ok spec] exactly. *)
 

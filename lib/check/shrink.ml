@@ -41,7 +41,18 @@ let remove_top_node spec =
           match action with
           | Faults.Crash n when n = victim -> None
           | Faults.Recover n when n = victim -> None
-          | Faults.Crash _ | Faults.Recover _ | Faults.Heal ->
+          | Faults.Corrupt (n, _) when n = victim -> None
+          (* A corruption aimed at a surviving node but parameterized by the
+             victim (smear source, truncated sender) retargets to node 0 —
+             the member_for_node fallback would make it a self-corruption
+             anyway, and keeping the action keeps the failure reachable. *)
+          | Faults.Corrupt (n, Faults.Stability_smear (m, amount))
+            when m = victim ->
+              Some (time, Faults.Corrupt (n, Faults.Stability_smear (0, amount)))
+          | Faults.Corrupt (n, Faults.Deps_truncate (m, k)) when m = victim ->
+              Some (time, Faults.Corrupt (n, Faults.Deps_truncate (0, k)))
+          | Faults.Crash _ | Faults.Recover _ | Faults.Heal
+          | Faults.Corrupt _ ->
               Some (time, action)
           | Faults.Partition comps -> (
               let comps =

@@ -229,6 +229,8 @@ let leave t = Endpoint.leave (get_ep t)
 
 let kill t = Endpoint.kill (get_ep t)
 
+let corrupt t c = Endpoint.corrupt (get_ep t) c
+
 let endpoint_stats t = Endpoint.stats (get_ep t)
 
 let stats t = { eview_changes = t.s_echanges; merges_rejected = t.s_rejected }

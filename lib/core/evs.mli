@@ -114,6 +114,10 @@ val leave : ('a, 'ann) t -> unit
 
 val kill : ('a, 'ann) t -> unit
 
+val corrupt : ('a, 'ann) t -> Endpoint.corruption -> string
+(** Apply a transient state corruption to the underlying endpoint; returns
+    the corrupted field name (see {!Endpoint.corrupt}). *)
+
 val endpoint_stats : ('a, 'ann) t -> Endpoint.stats
 
 type stats = {

@@ -75,6 +75,10 @@ let apply_action t action net_action =
       | None -> ())
   | Faults.Recover node -> (
       match on_node t node with Some _ -> () | None -> boot t node)
+  (* Corruptions target Endpoint internals; the experiment fleets are typed
+     over an abstract app and run throughput experiments, not the
+     stabilization oracle, so the action is a no-op here. *)
+  | Faults.Corrupt _ -> ()
 
 let run_script t sim script ~net_action =
   Faults.schedule sim script ~apply:(fun action ->

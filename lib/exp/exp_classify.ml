@@ -130,7 +130,7 @@ let kv_campaign ?(config = Endpoint.default_config) ~seed ~duration () =
   App_fleet.run_script fleet sim script ~net_action:(function
     | Faults.Partition comps -> Net.set_partition net comps
     | Faults.Heal -> Net.heal net
-    | Faults.Crash _ | Faults.Recover _ -> ());
+    | Faults.Crash _ | Faults.Recover _ | Faults.Corrupt _ -> ());
   let rec pump time =
     if time < duration then begin
       ignore
@@ -179,7 +179,7 @@ let file_campaign ?(config = Endpoint.default_config) ~seed ~duration () =
   App_fleet.run_script fleet sim script ~net_action:(function
     | Faults.Partition comps -> Net.set_partition net comps
     | Faults.Heal -> Net.heal net
-    | Faults.Crash _ | Faults.Recover _ -> ());
+    | Faults.Crash _ | Faults.Recover _ | Faults.Corrupt _ -> ());
   let rec pump time =
     if time < duration then begin
       ignore

@@ -68,7 +68,7 @@ let run_campaign ~seed ~gate ~duration ~keyspace =
   App_fleet.run_script fleet sim script ~net_action:(function
     | Faults.Partition comps -> Net.set_partition net comps
     | Faults.Heal -> Net.heal net
-    | Faults.Crash _ | Faults.Recover _ -> ());
+    | Faults.Crash _ | Faults.Recover _ | Faults.Corrupt _ -> ());
   let rec query_pump time =
     if time < duration then begin
       ignore

@@ -53,7 +53,7 @@ let run_churn ~seed ~mean_gap ~duration =
   App_fleet.run_script fleet sim script ~net_action:(function
     | Faults.Partition comps -> Net.set_partition net comps
     | Faults.Heal -> Net.heal net
-    | Faults.Crash _ | Faults.Recover _ -> ());
+    | Faults.Crash _ | Faults.Recover _ | Faults.Corrupt _ -> ());
   (* Steady trickle of writes so staleness is observable. *)
   let rec write_pump time =
     if time < duration then begin

@@ -47,7 +47,7 @@ let run_campaign ~seed ~n ~duration =
       match action with
       | Faults.Partition comps -> Net.set_partition net comps
       | Faults.Heal -> Net.heal net
-      | Faults.Crash _ | Faults.Recover _ -> ());
+      | Faults.Crash _ | Faults.Recover _ | Faults.Corrupt _ -> ());
   (* Background writes keep the object exercised. *)
   let rec pump time =
     if time < duration +. 1.0 then begin

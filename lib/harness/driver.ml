@@ -20,6 +20,13 @@ type setup = {
 
 type traffic = { tr_start : float; tr_until : float; tr_gap : float }
 
+type quarantine = {
+  q_bound : int;
+  q_views : int;
+  q_cut : float option;
+  q_quarantined : int;
+}
+
 type outcome = {
   violations : string list;
   verdicts : Vs_obs.Explain.violation list;
@@ -29,12 +36,35 @@ type outcome = {
   eview_changes : int;
   events : int;
   stable : bool;
+  quarantine : quarantine option;
 }
 
 (* EVS harness checks return plain strings; wrap them so the explain layer
    can still attribute them to a property class. *)
 let wrap_verdict property detail =
   { Vs_obs.Explain.property; msg = None; procs = []; vids = []; detail }
+
+(* The stabilization verdict, surfaced both as a typed event on the run's
+   stream (so vsexplain can attribute recovery) and as the outcome's
+   [quarantine] summary.  [extra] counts EVS-side records the [since]
+   filters forgave on top of the oracle's own quarantined violations. *)
+let finish_stabilization sim (st : Oracle.stabilization) ~extra =
+  let quarantined = List.length st.Oracle.st_quarantined + extra in
+  Sim.emit sim
+    (Vs_obs.Event.Quarantine
+       {
+         bound = st.Oracle.st_bound;
+         opened = st.Oracle.st_first_fault;
+         cut = (match st.Oracle.st_cut with Some c -> c | None -> -1.0);
+         views = st.Oracle.st_views;
+         quarantined;
+       });
+  {
+    q_bound = st.Oracle.st_bound;
+    q_views = st.Oracle.st_views;
+    q_cut = st.Oracle.st_cut;
+    q_quarantined = quarantined;
+  }
 
 (* EVS counterpart of Vsync_cluster.stable_view_reached: every live handle
    installed the same view, that view covers exactly the live nodes, and
@@ -62,7 +92,7 @@ let evs_stable c =
    installed: E_view.validate (subviews partition the membership, sv-sets
    partition the subviews) and well-formedness of the classification verdict
    a majority-quorum application would derive from it. *)
-let evs_structural_violations ~n c =
+let evs_structural_violations ?(since = neg_infinity) ~n c =
   let quorum ms = 2 * List.length ms > n in
   List.concat_map
     (fun (r : Evs_cluster.eview_record) ->
@@ -97,15 +127,18 @@ let evs_structural_violations ~n c =
                   (E_view.to_string ev)) ]
       in
       structural @ classify)
-    (Evs_cluster.eview_records c)
+    (List.filter
+       (fun (r : Evs_cluster.eview_record) -> r.Evs_cluster.er_time >= since)
+       (Evs_cluster.eview_records c))
 
-let run_schedule ?traffic ?obs setup ~script ~until =
+let run_schedule ?traffic ?obs ?stabilization_bound setup ~script ~until =
   let pump pump_traffic c =
     match traffic with
     | Some tr when tr.tr_gap > 0. ->
         pump_traffic c ~start:tr.tr_start ~until:tr.tr_until ~mean_gap:tr.tr_gap
     | Some _ | None -> ()
   in
+  let bound = stabilization_bound in
   match setup.protocol with
   | Vsync ->
       let c =
@@ -116,8 +149,13 @@ let run_schedule ?traffic ?obs setup ~script ~until =
       pump Vsync_cluster.pump_traffic c;
       Vsync_cluster.run c ~until;
       let o = Vsync_cluster.oracle c in
-      let verdicts =
-        List.map Oracle.to_obs_violation (Oracle.all_violations o)
+      let raw = Oracle.all_violations o in
+      let verdicts, quarantine =
+        match Oracle.stabilization o ?bound raw with
+        | None -> (List.map Oracle.to_obs_violation raw, None)
+        | Some st ->
+            ( List.map Oracle.to_obs_violation st.Oracle.st_residual,
+              Some (finish_stabilization (Vsync_cluster.sim c) st ~extra:0) )
       in
       {
         violations = List.map (fun v -> v.Vs_obs.Explain.detail) verdicts;
@@ -128,6 +166,7 @@ let run_schedule ?traffic ?obs setup ~script ~until =
         eview_changes = 0;
         events = Sim.events_processed (Vsync_cluster.sim c);
         stable = Vsync_cluster.stable_view_reached c;
+        quarantine;
       }
   | Evs ->
       let c =
@@ -138,15 +177,34 @@ let run_schedule ?traffic ?obs setup ~script ~until =
       pump Evs_cluster.pump_traffic c;
       Evs_cluster.run c ~until;
       let o = Evs_cluster.oracle c in
-      let verdicts =
-        List.map Oracle.to_obs_violation (Oracle.all_violations o)
-        @ List.map
-            (wrap_verdict Vs_obs.Explain.Evs_total_order)
-            (Evs_cluster.check_total_order c)
+      let evs_verdicts ?since () =
+        List.map
+          (wrap_verdict Vs_obs.Explain.Evs_total_order)
+          (Evs_cluster.check_total_order ?since c)
         @ List.map
             (wrap_verdict Vs_obs.Explain.Evs_structure)
-            (Evs_cluster.check_structure c)
-        @ evs_structural_violations ~n:setup.n c
+            (Evs_cluster.check_structure ?since c)
+        @ evs_structural_violations ?since ~n:setup.n c
+      in
+      let raw = Oracle.all_violations o in
+      let verdicts, quarantine =
+        match Oracle.stabilization o ?bound raw with
+        | None ->
+            (List.map Oracle.to_obs_violation raw @ evs_verdicts (), None)
+        | Some st ->
+            (* EVS records inside the recovery window are quarantined by
+               re-running the checks from the cut; a run that never
+               reconverged already carries the synthesized residual, so
+               its EVS noise is forgiven wholesale. *)
+            let since =
+              match st.Oracle.st_cut with Some cut -> cut | None -> infinity
+            in
+            let all_evs = evs_verdicts () in
+            let kept_evs = evs_verdicts ~since () in
+            let extra = List.length all_evs - List.length kept_evs in
+            ( List.map Oracle.to_obs_violation st.Oracle.st_residual
+              @ kept_evs,
+              Some (finish_stabilization (Evs_cluster.sim c) st ~extra) )
       in
       {
         violations = List.map (fun v -> v.Vs_obs.Explain.detail) verdicts;
@@ -157,4 +215,5 @@ let run_schedule ?traffic ?obs setup ~script ~until =
         eview_changes = Evs_cluster.eview_changes_total c;
         events = Sim.events_processed (Evs_cluster.sim c);
         stable = evs_stable c;
+        quarantine;
       }

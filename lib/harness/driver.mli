@@ -32,6 +32,17 @@ type traffic = {
   tr_gap : float;  (** mean gap between multicasts; [<= 0.] disables *)
 }
 
+type quarantine = {
+  q_bound : int;  (** recovery bound, in installed views *)
+  q_views : int;  (** fresh views installed after the last transient fault *)
+  q_cut : float option;
+      (** when legality resumed; [None] = never reconverged *)
+  q_quarantined : int;  (** violations forgiven as recovery noise *)
+}
+(** Summary of the stabilization oracle's verdict for a run that contained
+    transient {!Faults.Corrupt} actions; also emitted as a typed
+    [Quarantine] event on the run's stream. *)
+
 type outcome = {
   violations : string list;
       (** every failed property check, human-readable; [] = clean run.
@@ -48,15 +59,23 @@ type outcome = {
       (** all live members converged on one final view covering the live
           nodes (the {!Vsync_cluster.stable_view_reached} condition; the
           analogous check over live EVS handles for enriched runs) *)
+  quarantine : quarantine option;
+      (** [Some _] iff the script injected transient corruptions: verdicts
+          were filtered through {!Oracle.stabilization} (recovery-window
+          violations quarantined, persisting ones relabeled) and, on EVS
+          runs, the 6.1/6.3/structural checks re-ran from the cut *)
 }
 
 val run_schedule :
   ?traffic:traffic ->
   ?obs:Vs_obs.Recorder.t ->
+  ?stabilization_bound:int ->
   setup ->
   script:Faults.script ->
   until:float ->
   outcome
 (** Deterministic: the same setup, traffic, script and horizon produce the
     same outcome, bit for bit.  [?obs] receives the run's event stream
-    (pass a [Full]-level recorder to capture per-message traffic). *)
+    (pass a [Full]-level recorder to capture per-message traffic).
+    [?stabilization_bound] overrides {!Oracle.stabilization}'s default
+    recovery bound for runs with transient faults. *)

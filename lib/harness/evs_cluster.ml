@@ -167,6 +167,13 @@ let apply_action t action =
       | Some _ | None ->
           st.evs <- None;
           boot t node)
+  | Faults.Corrupt (node, c) -> (
+      match evs_on t node with
+      | Some e ->
+          let field = Evs.corrupt e c in
+          Oracle.record_corruption t.oracle ~proc:(Evs.me e) ~field
+            ~time:(Sim.now t.sim)
+      | None -> ())
 
 let run_script t script =
   Faults.schedule t.sim script ~apply:(fun action ->
@@ -196,8 +203,10 @@ let eview_changes_total t = t.echanges
 (* Property 6.1: within one view, every process records the same sequence
    of e-view changes — match records by (view id, eseq) and require equal
    structures and causes. *)
-let check_total_order t =
-  let records = eview_records t in
+let check_total_order ?(since = neg_infinity) t =
+  let records =
+    List.filter (fun r -> r.er_time >= since) (eview_records t)
+  in
   let key r = (r.er_eview.E_view.view.View.id, r.er_eview.E_view.eseq) in
   let groups =
     Listx.group_by ~key
@@ -260,7 +269,7 @@ let same_svset ev p q =
    exempt in both directions — their subview may legitimately have shrunk
    away from a laggard, or been grown by an application merge the observer
    could not see. *)
-let check_structure t =
+let check_structure ?(since = neg_infinity) t =
   (* prior view of [proc] when it installed [vid], from the oracle *)
   let prior_of proc vid =
     Oracle.installs_of t.oracle ~proc
@@ -274,7 +283,7 @@ let check_structure t =
   in
   let by_proc =
     Listx.group_by ~key:(fun r -> r.er_proc) ~cmp_key:Proc_id.compare
-      (eview_records t)
+      (List.filter (fun r -> r.er_time >= since) (eview_records t))
   in
   List.concat_map
     (fun (proc, records) ->

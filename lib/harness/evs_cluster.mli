@@ -60,9 +60,14 @@ type eview_record = {
 val eview_records : t -> eview_record list
 (** Everything every process saw, in recording order. *)
 
-val check_total_order : t -> string list
+val check_total_order : ?since:float -> t -> string list
+(** [since] (default: the whole run) restricts the check to e-view records
+    at or after that time — the stabilization oracle uses it to quarantine
+    records inside a transient-fault recovery window. *)
 
-val check_structure : t -> string list
+val check_structure : ?since:float -> t -> string list
+(** Same [since] semantics as {!check_total_order}; a view transition whose
+    old-view record predates [since] is exempt entirely. *)
 
 val eview_changes_total : t -> int
 (** Count of within-view e-view changes across all processes (E9). *)

@@ -3,13 +3,29 @@ module Rng = Vs_util.Rng
 module Listx = Vs_util.Listx
 module Hashtblx = Vs_util.Hashtblx
 
+(* Re-export so harness and explorer code can build and match corruption
+   kinds without reaching into lib/vsync. *)
+type corruption = Vs_vsync.Endpoint.corruption =
+  | Seq_skew of int
+  | Stability_smear of int * int
+  | View_skew of int
+  | Deps_truncate of int * int
+
 type action =
   | Partition of int list list
   | Heal
   | Crash of int
   | Recover of int
+  | Corrupt of int * corruption
 
 type script = (float * action) list
+
+let corruption_to_string = function
+  | Seq_skew k -> Printf.sprintf "seq-skew %d" k
+  | Stability_smear (node, amount) ->
+      Printf.sprintf "stability-smear %d %d" node amount
+  | View_skew k -> Printf.sprintf "view-skew %d" k
+  | Deps_truncate (node, k) -> Printf.sprintf "deps-truncate %d %d" node k
 
 let to_string = function
   | Partition comps ->
@@ -21,6 +37,8 @@ let to_string = function
   | Heal -> "heal"
   | Crash node -> Printf.sprintf "crash %d" node
   | Recover node -> Printf.sprintf "recover %d" node
+  | Corrupt (node, c) ->
+      Printf.sprintf "corrupt %d %s" node (corruption_to_string c)
 
 let schedule sim script ~apply =
   List.iter
@@ -45,11 +63,12 @@ let random_partition rng nodes =
   end
 
 let random_script rng ~nodes ~start ~duration ~mean_gap ?(crash_weight = 1.0)
-    ?(partition_weight = 1.0) () =
+    ?(partition_weight = 1.0) ?(corrupt_weight = 0.0) () =
   if nodes = [] then invalid_arg "Faults.random_script: no nodes";
   let deadline = start +. duration in
   let crashed = Hashtbl.create 8 in
   let partitioned = ref false in
+  let corrupted = ref false in
   let rec go time acc =
     let time = time +. Rng.exponential rng mean_gap in
     if time >= deadline then List.rev acc
@@ -59,7 +78,13 @@ let random_script rng ~nodes ~start ~duration ~mean_gap ?(crash_weight = 1.0)
         (if List.length alive > 1 then [ (crash_weight, `Crash) ] else [])
         @ (if Hashtbl.length crashed > 0 then [ (1.0, `Recover) ] else [])
         @ (if List.length alive > 1 then [ (partition_weight, `Partition) ] else [])
-        @ if !partitioned then [ (1.0, `Heal) ] else []
+        @ (if !partitioned then [ (1.0, `Heal) ] else [])
+        (* The corrupt entry only exists when transient faults are enabled,
+           so the draw sequence — and thus every script — is byte-identical
+           to the pre-transient generator when the weight is 0. *)
+        @ if corrupt_weight > 0. && alive <> [] then
+            [ (corrupt_weight, `Corrupt) ]
+          else []
       in
       match choices with
       | [] -> go time acc
@@ -89,6 +114,18 @@ let random_script rng ~nodes ~start ~duration ~mean_gap ?(crash_weight = 1.0)
             | `Heal ->
                 partitioned := false;
                 Heal
+            | `Corrupt ->
+                let target = Rng.pick rng alive in
+                let sign mag = if Rng.bool rng 0.5 then mag else -mag in
+                let kind =
+                  match Rng.int rng 4 with
+                  | 0 -> Seq_skew (sign (1 + Rng.int rng 5))
+                  | 1 -> Stability_smear (Rng.pick rng alive, 1 + Rng.int rng 8)
+                  | 2 -> View_skew (sign (1 + Rng.int rng 3))
+                  | _ -> Deps_truncate (Rng.pick rng alive, 1 + Rng.int rng 4)
+                in
+                corrupted := true;
+                Corrupt (target, kind)
           in
           go time ((time, action) :: acc)
     end
@@ -104,4 +141,15 @@ let random_script rng ~nodes ~start ~duration ~mean_gap ?(crash_weight = 1.0)
     in
     (t0, Heal) :: recoveries
   in
-  churn @ closing
+  (* Transient scripts get a membership kick after everything is healed: a
+     crash/recover pair that forces at least two fresh view installations
+     after the last corruption, so the stabilization oracle's recovery
+     bound is reachable within the quiet tail. *)
+  let kick =
+    if !corrupted && List.length nodes > 1 then begin
+      let victim = Rng.pick rng nodes in
+      [ (deadline +. 0.15, Crash victim); (deadline +. 0.25, Recover victim) ]
+    end
+    else []
+  in
+  churn @ closing @ kick

@@ -7,13 +7,28 @@
     and full recovery followed by a quiet tail so runs can be checked in a
     stabilized state. *)
 
+(** Re-export of {!Vs_vsync.Endpoint.corruption}: the typed transient
+    state corruptions ({i node} arguments are resolved against the target's
+    current view at injection time). *)
+type corruption = Vs_vsync.Endpoint.corruption =
+  | Seq_skew of int
+  | Stability_smear of int * int
+  | View_skew of int
+  | Deps_truncate of int * int
+
 type action =
   | Partition of int list list  (** connectivity components (node ids) *)
   | Heal
   | Crash of int                (** kill the incarnation on a node *)
   | Recover of int              (** start a fresh incarnation on a node *)
+  | Corrupt of int * corruption
+      (** smash one field of the live incarnation on a node *)
 
 type script = (float * action) list
+
+val corruption_to_string : corruption -> string
+(** ["seq-skew 3"], ["stability-smear 1 5"], … — the token grammar the
+    repro format reuses. *)
 
 val to_string : action -> string
 
@@ -29,10 +44,19 @@ val random_script :
   mean_gap:float ->
   ?crash_weight:float ->
   ?partition_weight:float ->
+  ?corrupt_weight:float ->
   unit ->
   script
 (** Random churn: events spaced exponentially with [mean_gap], drawn among
     crash / recover / partition / heal with the given weights (defaults 1.0
     each; recover and heal get natural weights from pending state).  The
     script keeps at least one node alive, ends by [start +. duration] with
-    a heal and recovery of every crashed node. *)
+    a heal and recovery of every crashed node.
+
+    [corrupt_weight] (default 0) additionally draws transient {!Corrupt}
+    actions against live nodes; with the default weight the generator's
+    draw sequence is unchanged, so existing seeds produce byte-identical
+    scripts.  A script containing at least one corruption ends with a
+    crash/recover kick (at [deadline +. 0.15] / [+. 0.25]) that forces
+    fresh view installations after the last corruption, keeping the
+    stabilization oracle's recovery bound reachable in the quiet tail. *)

@@ -44,6 +44,7 @@ type t = {
   installs : (Proc_id.t, (View.t * View.Id.t * float) list ref) Hashtbl.t;
   mutable n_deliveries : int;
   mutable n_installs : int;
+  mutable corruptions : (Proc_id.t * string * float) list;  (* newest first *)
 }
 
 let create () =
@@ -53,6 +54,7 @@ let create () =
     installs = Hashtbl.create 64;
     n_deliveries = 0;
     n_installs = 0;
+    corruptions = [];
   }
 
 let bucket tbl key =
@@ -74,6 +76,11 @@ let record_install t ~proc ~view ~prior ~time =
   let b = bucket t.installs proc in
   b := (view, prior, time) :: !b;
   t.n_installs <- t.n_installs + 1
+
+let record_corruption t ~proc ~field ~time =
+  t.corruptions <- (proc, field, time) :: t.corruptions
+
+let corruptions t = List.rev t.corruptions
 
 let procs t =
   let all =
@@ -376,3 +383,163 @@ let check_summary t =
     ("fifo", List.length (fifo_violations t));
     ("total-order", List.length (total_order_violations t));
   ]
+
+(* ---------- stabilization (bounded recovery from transient faults) ----
+
+   Practically-self-stabilizing reading of the Section 2 properties: after
+   the *last* recorded state corruption, the run must return to
+   oracle-clean behavior within [bound] freshly installed views.
+   Violations attributable to the recovery window are quarantined;
+   violations in views installed after the window are real failures,
+   relabeled [Stabilization] and annotated with the corrupted fields. *)
+
+type stabilization = {
+  st_bound : int;
+  st_first_fault : float;
+  st_last_fault : float;
+  st_views : int;  (* distinct views first installed after the last fault *)
+  st_cut : float option;
+      (* first-install time of the bound-th fresh view; None when fewer
+         than [bound] fresh views were ever installed *)
+  st_quarantined : violation list;
+  st_residual : violation list;
+}
+
+let corrupted_fields_label corruptions =
+  List.map
+    (fun (proc, field, _) ->
+      Printf.sprintf "%s@%s" field (Proc_id.to_string proc))
+    corruptions
+  |> Listx.sorted_set ~cmp:String.compare
+  |> String.concat ","
+
+let stabilization t ?(bound = 2) violations =
+  match List.rev t.corruptions with
+  | [] -> None
+  | corruptions ->
+      let fault_times = List.map (fun (_, _, time) -> time) corruptions in
+      let first_fault = List.fold_left Float.min infinity fault_times in
+      let last_fault = List.fold_left Float.max neg_infinity fault_times in
+      (* First-install time of every distinct view in the run. *)
+      let first_install = Hashtbl.create 64 in
+      List.iter
+        (fun (_, r) ->
+          List.iter
+            (fun ((v : View.t), _, time) ->
+              match Hashtbl.find_opt first_install v.View.id with
+              | Some prev when prev <= time -> ()
+              | _ -> Hashtbl.replace first_install v.View.id time)
+            !r)
+        (Hashtblx.sorted_bindings ~cmp:Proc_id.compare t.installs);
+      (* Views born strictly after the last fault, in install order. *)
+      let fresh =
+        Hashtblx.sorted_bindings ~cmp:View.Id.compare first_install
+        |> List.filter (fun (_, time) -> time > last_fault)
+        |> List.sort (fun (v1, t1) (v2, t2) ->
+               match Float.compare t1 t2 with
+               | 0 -> View.Id.compare v1 v2
+               | c -> c)
+      in
+      let cut =
+        match Listx.drop (bound - 1) fresh with
+        | (_, time) :: _ -> Some time
+        | [] -> None
+      in
+      let recovered = Listx.drop bound fresh |> List.map fst in
+      let in_recovered vid = List.exists (View.Id.equal vid) recovered in
+      (* When a violation completed: the latest evidence the oracle holds
+         for it — any delivery of the offending message, any delivery by a
+         violating process inside a named view, or failing those the first
+         install of a named view.  Latest, not earliest: a message first
+         delivered cleanly before the fault can still be the victim of a
+         post-corruption inversion or duplicate, and only violations whose
+         evidence closed before the first fault may be exonerated as
+         pre-existing. *)
+      let violation_time v =
+        let in_procs p =
+          v.v_procs = [] || List.exists (Proc_id.equal p) v.v_procs
+        in
+        let t0 =
+          List.fold_left
+            (fun acc p ->
+              match Hashtbl.find_opt t.deliveries p with
+              | None -> acc
+              | Some r ->
+                  List.fold_left
+                    (fun acc (vid, m', time) ->
+                      let relevant =
+                        (match v.v_msg with
+                        | Some m -> compare_msg_id m m' = 0
+                        | None -> false)
+                        || (in_procs p
+                           && List.exists (View.Id.equal vid) v.v_vids)
+                      in
+                      if relevant then Float.max acc time else acc)
+                    acc !r)
+            neg_infinity (procs t)
+        in
+        let t0 =
+          if t0 > neg_infinity then t0
+          else
+            List.fold_left
+              (fun acc vid ->
+                match Hashtbl.find_opt first_install vid with
+                | Some time -> Float.max acc time
+                | None -> acc)
+              neg_infinity v.v_vids
+        in
+        if t0 > neg_infinity then t0 else 0.
+      in
+      let fields = corrupted_fields_label corruptions in
+      let quarantined = ref [] in
+      let residual = ref [] in
+      List.iter
+        (fun v ->
+          if violation_time v < first_fault then
+            (* Predates the first corruption: not the transient's fault. *)
+            residual := v :: !residual
+          else if v.v_vids <> [] && List.for_all in_recovered v.v_vids then
+            residual :=
+              {
+                v with
+                v_property = Vs_obs.Explain.Stabilization;
+                v_detail =
+                  Printf.sprintf
+                    "%s — persists after the stabilization bound (%d views \
+                     after last transient fault at %.3f; corrupted: %s)"
+                    v.v_detail bound last_fault fields;
+              }
+              :: !residual
+          else quarantined := v :: !quarantined)
+        violations;
+      let residual =
+        if cut = None && !quarantined <> [] then
+          (* Never re-converged: the quarantine window never closed, and
+             violations accumulated inside it. *)
+          {
+            v_property = Vs_obs.Explain.Stabilization;
+            v_msg = None;
+            v_procs =
+              Proc_id.sort (List.map (fun (p, _, _) -> p) corruptions);
+            v_vids = [];
+            v_detail =
+              Printf.sprintf
+                "stabilization: never reconverged — only %d of %d required \
+                 views installed after last transient fault at %.3f, with \
+                 %d violation(s) outstanding (corrupted: %s)"
+                (List.length fresh) bound last_fault
+                (List.length !quarantined) fields;
+          }
+          :: List.rev !residual
+        else List.rev !residual
+      in
+      Some
+        {
+          st_bound = bound;
+          st_first_fault = first_fault;
+          st_last_fault = last_fault;
+          st_views = List.length fresh;
+          st_cut = cut;
+          st_quarantined = List.rev !quarantined;
+          st_residual = residual;
+        }

@@ -48,6 +48,15 @@ val record_install :
 (** [prior] is the view the process was in before this install (its initial
     singleton view id for the first install). *)
 
+val record_corruption :
+  t -> proc:Proc_id.t -> field:string -> time:float -> unit
+(** A transient state corruption was injected into [proc]'s [field] (the
+    stable name from {!Vs_vsync.Endpoint.corruption_field}) at [time].
+    Arms the {!stabilization} check. *)
+
+val corruptions : t -> (Proc_id.t * string * float) list
+(** Recorded corruptions in injection order. *)
+
 (** {2 Checks — each returns human-readable violations, empty when the
     property holds} *)
 
@@ -96,6 +105,35 @@ val check_summary : t -> (string * int) list
 (** Violation counts per property, in the order agreement, uniqueness,
     integrity, fifo, total-order — the row format of the loss-tolerance
     experiment (E11). *)
+
+(** {2 Stabilization — bounded recovery from transient faults} *)
+
+type stabilization = {
+  st_bound : int;  (** recovery bound, in installed views *)
+  st_first_fault : float;  (** first recorded corruption *)
+  st_last_fault : float;  (** last recorded corruption *)
+  st_views : int;
+      (** distinct views first installed strictly after the last fault *)
+  st_cut : float option;
+      (** when legality must have resumed: first-install time of the
+          [st_bound]-th fresh view, [None] when fewer were ever installed *)
+  st_quarantined : violation list;
+      (** violations attributed to the recovery window — expected noise *)
+  st_residual : violation list;
+      (** real failures: violations predating the first fault (original
+          property) and violations persisting in views past the bound
+          (relabeled [Stabilization], detail naming the corrupted
+          fields).  A run with quarantined violations but fewer than
+          [st_bound] fresh views never reconverged and gets a synthesized
+          [Stabilization] violation. *)
+}
+
+val stabilization : t -> ?bound:int -> violation list -> stabilization option
+(** Classify [violations] (typically {!all_violations}) against the
+    recorded corruptions.  [None] when no corruption was recorded — the
+    plain verdicts stand as-is.  Default [bound] is 2: the view-synchrony
+    state machine rebuilds all per-view state at each install, so one view
+    flushes the damage and the next must be legal. *)
 
 (** {2 Introspection} *)
 

@@ -151,6 +151,13 @@ let apply_action t action =
       | Some _ | None ->
           st.endpoint <- None;
           boot t node)
+  | Faults.Corrupt (node, c) -> (
+      match endpoint_on t node with
+      | Some ep ->
+          let field = Endpoint.corrupt ep c in
+          Oracle.record_corruption t.oracle ~proc:(Endpoint.me ep) ~field
+            ~time:(Sim.now t.sim)
+      | None -> ())
 
 let run_script t script =
   Faults.schedule t.sim script ~apply:(fun action ->

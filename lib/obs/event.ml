@@ -127,10 +127,21 @@ type t =
   | Crash of { proc : proc }
   | Partition of { components : int list list }
   | Heal
+  | Corrupt of { proc : proc; field : string; detail : string }
+  | Quarantine of {
+      bound : int;
+      opened : float;
+      cut : float;
+      views : int;
+      quarantined : int;
+    }
   | Note of { component : string; message : string }
 
 let component = function
-  | Send _ | Recv _ | Drop _ | Dup _ | Crash _ | Partition _ | Heal -> "net"
+  | Send _ | Recv _ | Drop _ | Dup _ | Crash _ | Partition _ | Heal
+  | Corrupt _ ->
+      "net"
+  | Quarantine _ -> "harness"
   | Retransmit _ | Backoff _ -> "vsync"
   | Suspect _ | Unsuspect _ -> "fd"
   | Propose _ | Flush _ | Install _ -> "gms"
@@ -159,13 +170,16 @@ let type_name = function
   | Crash _ -> "crash"
   | Partition _ -> "partition"
   | Heal -> "heal"
+  | Corrupt _ -> "corrupt"
+  | Quarantine _ -> "quarantine"
   | Note _ -> "note"
 
 let all_type_names =
   [
     "send"; "recv"; "drop"; "dup"; "retransmit"; "backoff"; "suspect";
     "unsuspect"; "propose"; "flush"; "install"; "eview"; "mode"; "settle";
-    "task-start"; "task-done"; "crash"; "partition"; "heal"; "note";
+    "task-start"; "task-done"; "crash"; "partition"; "heal"; "corrupt";
+    "quarantine"; "note";
   ]
 
 let members_to_string ms = String.concat "," (List.map proc_to_string ms)
@@ -234,6 +248,19 @@ let render = function
               (fun nodes -> String.concat "," (List.map string_of_int nodes))
               components))
   | Heal -> "heal"
+  | Corrupt { proc; field; detail } ->
+      Printf.sprintf "corrupt %s %s (%s)" (proc_to_string proc) field detail
+  | Quarantine { bound; opened; cut; views; quarantined } ->
+      if cut < 0. then
+        Printf.sprintf
+          "quarantine open: %d/%d recovery views after transient faults \
+           (opened t=%.3f, %d violation(s) quarantined)"
+          views bound opened quarantined
+      else
+        Printf.sprintf
+          "quarantine [%.3f, %.3f): %d views (bound %d), %d violation(s) \
+           quarantined"
+          opened cut views bound quarantined
   | Note { message; _ } -> message
 
 (* Structural accessors for the read side (query / lineage / explain): every
@@ -251,9 +278,9 @@ let procs = function
       proc :: members
   | Flush { proc; _ } | Eview { proc; _ } | Mode_change { proc; _ }
   | Settle { proc; _ } | Task_start { proc; _ } | Task_done { proc; _ }
-  | Crash { proc } ->
+  | Crash { proc } | Corrupt { proc; _ } ->
       [ proc ]
-  | Partition _ | Heal | Note _ -> []
+  | Partition _ | Heal | Quarantine _ | Note _ -> []
 
 let vids = function
   | Propose { vid; _ } | Flush { vid; _ } | Install { vid; _ }
@@ -261,12 +288,14 @@ let vids = function
   | Task_done { vid; _ } ->
       [ vid ]
   | Send _ | Recv _ | Drop _ | Dup _ | Retransmit _ | Backoff _ | Suspect _
-  | Unsuspect _ | Mode_change _ | Crash _ | Partition _ | Heal | Note _ ->
+  | Unsuspect _ | Mode_change _ | Crash _ | Partition _ | Heal | Corrupt _
+  | Quarantine _ | Note _ ->
       []
 
 let msg_of = function
   | Send { msg; _ } | Recv { msg; _ } | Drop { msg; _ } | Dup { msg; _ } -> msg
   | Retransmit _ | Backoff _ | Suspect _ | Unsuspect _ | Propose _ | Flush _
   | Install _ | Eview _ | Mode_change _ | Settle _ | Task_start _
-  | Task_done _ | Crash _ | Partition _ | Heal | Note _ ->
+  | Task_done _ | Crash _ | Partition _ | Heal | Corrupt _ | Quarantine _
+  | Note _ ->
       None

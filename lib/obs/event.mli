@@ -109,12 +109,31 @@ type t =
   | Crash of { proc : proc }
   | Partition of { components : int list list }
   | Heal
+  | Corrupt of { proc : proc; field : string; detail : string }
+      (** Transient state corruption injected into [proc]: [field] is the
+          stable name of the corrupted protocol field (["send_seq"],
+          ["stable_vectors"], ["acked"], ["stream.next"]), [detail] the
+          before/after rendering of the mutation. *)
+  | Quarantine of {
+      bound : int;
+      opened : float;
+      cut : float;
+      views : int;
+      quarantined : int;
+    }
+      (** Stabilization-oracle verdict window: violations between [opened]
+          (the first transient fault) and [cut] (the first installation of
+          the [bound]-th new view after the last fault) are quarantined as
+          recovery noise; [cut = -1] means fewer than [bound] fresh views
+          were installed.  [views] counts the fresh views, [quarantined]
+          the violations attributed to the window. *)
   | Note of { component : string; message : string }
       (** Untyped escape hatch; carries legacy [Trace.record] calls. *)
 
 val component : t -> string
 (** The legacy trace component this event renders under ("net", "vsync",
-    "fd", "gms", "evs", "mode", "app", or the [Note] component). *)
+    "fd", "gms", "evs", "mode", "app", "harness", or the [Note]
+    component). *)
 
 val type_name : t -> string
 (** Stable wire name used by the JSONL schema. *)

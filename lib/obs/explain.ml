@@ -13,6 +13,7 @@ type property =
   | Evs_total_order
   | Evs_structure
   | Evs_invariant
+  | Stabilization
 
 let property_key = function
   | Agreement -> "agreement"
@@ -23,6 +24,7 @@ let property_key = function
   | Evs_total_order -> "evs-total-order"
   | Evs_structure -> "evs-structure"
   | Evs_invariant -> "evs-invariant"
+  | Stabilization -> "stabilization"
 
 let property_title = function
   | Agreement -> "agreement (Property 2.1)"
@@ -33,6 +35,7 @@ let property_title = function
   | Evs_total_order -> "EVS total order (Property 6.1)"
   | Evs_structure -> "EVS view structure (Property 6.3)"
   | Evs_invariant -> "EVS run invariant"
+  | Stabilization -> "stabilization (bounded recovery from transient faults)"
 
 type violation = {
   property : property;
@@ -75,7 +78,7 @@ let slice_of ~entries (v : violation) =
         List.fold_left (fun acc e -> Float.max acc e.Recorder.time) t0 relevant
       in
       let faults_q =
-        any (List.map of_type [ "crash"; "partition"; "heal" ])
+        any (List.map of_type [ "crash"; "partition"; "heal"; "corrupt" ])
         &&& between ~t0 ~t1
       in
       run (core ||| faults_q) entries

@@ -16,6 +16,10 @@ type property =
   | Evs_total_order  (** Property 6.1 *)
   | Evs_structure  (** Property 6.3, [E_view.validate], well-formedness *)
   | Evs_invariant  (** harness-level EVS structural invariants *)
+  | Stabilization
+      (** bounded recovery from transient state corruption: a violation that
+          persists after the stabilization oracle's recovery bound, or a run
+          that never re-converges at all *)
 
 val property_key : property -> string
 (** Stable machine name (["agreement"], ["evs-structure"], …). *)

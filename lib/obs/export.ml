@@ -96,6 +96,17 @@ let fields_of_event (ev : Event.t) : (string * Json.t) list =
                components) );
       ]
   | Heal -> []
+  | Corrupt { proc; field; detail } ->
+      [
+        ("proc", proc_json proc); ("field", Json.Str field);
+        ("detail", Json.Str detail);
+      ]
+  | Quarantine { bound; opened; cut; views; quarantined } ->
+      [
+        ("bound", Json.Int bound); ("opened", Json.Float opened);
+        ("cut", Json.Float cut); ("views", Json.Int views);
+        ("quarantined", Json.Int quarantined);
+      ]
   | Note { message; _ } -> [ ("msg", Json.Str message) ]
 
 exception Decode of string
@@ -275,6 +286,19 @@ let event_of_fields ~type_name ~component fields : Event.t =
                   comps;
             })
   | "heal" -> Heal
+  | "corrupt" ->
+      Corrupt
+        {
+          proc = get_proc fields "proc"; field = get_str fields "field";
+          detail = get_str fields "detail";
+        }
+  | "quarantine" ->
+      Quarantine
+        {
+          bound = get_int fields "bound"; opened = get_float fields "opened";
+          cut = get_float fields "cut"; views = get_int fields "views";
+          quarantined = get_int fields "quarantined";
+        }
   | "note" -> Note { component; message = get_str fields "msg" }
   | other -> raise (Decode ("unknown event type " ^ other))
 
@@ -448,6 +472,9 @@ let chrome_of_entries entries =
             ~cat:"fault"
       | Event.Partition _ -> cluster_instant ~time ~name:(Event.render e.event)
       | Event.Heal -> cluster_instant ~time ~name:"heal"
+      | Event.Corrupt { proc; field; _ } ->
+          instant ~time ~proc ~name:("corrupt " ^ field) ~cat:"fault"
+      | Event.Quarantine _ -> cluster_instant ~time ~name:(Event.render e.event)
       | Event.Retransmit { proc; count; _ } ->
           instant ~time ~proc
             ~name:(Printf.sprintf "retransmit x%d" count)

@@ -239,7 +239,7 @@ let of_entries entries =
       | Event.Retransmit _ | Event.Backoff _ | Event.Suspect _
       | Event.Unsuspect _ | Event.Propose _ | Event.Flush _
       | Event.Task_start _ | Event.Task_done _ | Event.Partition _
-      | Event.Heal | Event.Note _ ->
+      | Event.Heal | Event.Corrupt _ | Event.Quarantine _ | Event.Note _ ->
           ())
     entries;
   (* Timelines first: lifecycles need view_at for delivery views. *)

@@ -129,6 +129,8 @@ let of_entries (entries : Recorder.entry list) =
       | Event.Crash _ -> incr m "faults.crashes"
       | Event.Partition _ -> incr m "faults.partitions"
       | Event.Heal -> incr m "faults.heals"
+      | Event.Corrupt _ -> incr m "faults.corruptions"
+      | Event.Quarantine _ -> ()
       | Event.Note _ -> ())
     entries;
   m

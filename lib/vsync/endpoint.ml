@@ -1325,3 +1325,86 @@ let kill t =
     stop_stack t;
     Net.crash t.net t.me
   end
+
+(* ---------- transient state corruption (harness-injected) ----------
+
+   A small typed API for the self-stabilization harness: each kind smashes
+   one named field of this endpoint's protocol state, deterministically.
+   Every kind is recoverable because [handle_install] rebuilds the per-view
+   state (sequence counters, streams, stability vectors) and a corrupted
+   [acked] is outbid away by [Propose_reject] — the stabilization oracle
+   checks that this recovery actually happens within its view bound. *)
+
+type corruption =
+  | Seq_skew of int  (** send_seq += k (clamped at 0) *)
+  | Stability_smear of int * int
+      (** (member node, amount): member's reported prefix for my stream
+          += amount (clamped at 0) *)
+  | View_skew of int  (** acked view-id epoch += k (clamped at 0) *)
+  | Deps_truncate of int * int
+      (** (sender node, k): sender's delivered-prefix cursor -= k
+          (clamped at 0), forgetting causal dependencies already met *)
+
+let corruption_field = function
+  | Seq_skew _ -> "send_seq"
+  | Stability_smear _ -> "stable_vectors"
+  | View_skew _ -> "acked"
+  | Deps_truncate _ -> "stream.next"
+
+(* Corruption targets protocol state held *about* some member; a node number
+   that is not in the current view still has to corrupt something
+   deterministic, so it falls back to the endpoint itself. *)
+let member_for_node t node =
+  match
+    List.find_opt
+      (fun (p : Proc_id.t) -> p.Proc_id.node = node)
+      t.view.View.members
+  with
+  | Some p -> p
+  | None -> t.me
+
+let corrupt t (c : corruption) =
+  let field = corruption_field c in
+  if t.alive then begin
+    let detail =
+      match c with
+      | Seq_skew k ->
+          let before = t.send_seq in
+          t.send_seq <- max 0 (t.send_seq + k);
+          Printf.sprintf "%d -> %d" before t.send_seq
+      | Stability_smear (node, amount) ->
+          let member = member_for_node t node in
+          let table =
+            match Hashtbl.find_opt t.stable_vectors member with
+            | Some table -> table
+            | None ->
+                let table = Hashtbl.create 8 in
+                Hashtbl.replace t.stable_vectors member table;
+                table
+          in
+          let before =
+            match Hashtbl.find_opt table t.me with Some n -> n | None -> 0
+          in
+          let after = max 0 (before + amount) in
+          Hashtbl.replace table t.me after;
+          Printf.sprintf "[%s][%s] %d -> %d"
+            (Proc_id.to_string member) (Proc_id.to_string t.me) before after
+      | View_skew k ->
+          let before = t.acked in
+          let epoch = max 0 (before.View.Id.epoch + k) in
+          t.acked <- View.Id.make ~epoch ~proposer:before.View.Id.proposer;
+          Printf.sprintf "%s -> %s"
+            (View.Id.to_string before)
+            (View.Id.to_string t.acked)
+      | Deps_truncate (node, k) ->
+          let sender = member_for_node t node in
+          let s = stream_for t sender in
+          let before = s.next in
+          s.next <- max 0 (s.next - k);
+          Printf.sprintf "[%s] %d -> %d" (Proc_id.to_string sender) before
+            s.next
+    in
+    Sim.emit t.sim (Vs_obs.Event.Corrupt { proc = obs_me t; field; detail });
+    log_event t (Printf.sprintf "corrupt %s %s" field detail)
+  end;
+  field

@@ -128,6 +128,37 @@ val kill : ('a, 'ann) t -> unit
 (** Crash the process (no announcement).  The harness pairs this with
     network-level crash semantics automatically. *)
 
+(** {2 Transient state corruption}
+
+    A typed fault-injection API for the self-stabilization harness: each
+    kind smashes one named field of the endpoint's protocol state,
+    deterministically.  Node numbers are resolved against the current view
+    (falling back to the endpoint itself), so injections replay from a seed
+    regardless of membership at injection time. *)
+
+type corruption =
+  | Seq_skew of int  (** [send_seq += k] (clamped at 0) *)
+  | Stability_smear of int * int
+      (** [(member node, amount)]: that member's reported stable prefix for
+          this endpoint's stream [+= amount] (clamped at 0) *)
+  | View_skew of int
+      (** [acked] view-id epoch [+= k] (clamped at 0) — a regressed value
+          is outbid away by [Propose_reject], a bumped one stalls proposals
+          until a higher bid wins *)
+  | Deps_truncate of int * int
+      (** [(sender node, k)]: that sender's delivered-prefix cursor
+          [-= k] (clamped at 0), forgetting already-met causal
+          dependencies *)
+
+val corruption_field : corruption -> string
+(** Stable field name of the state a kind targets: ["send_seq"],
+    ["stable_vectors"], ["acked"], ["stream.next"]. *)
+
+val corrupt : ('a, 'ann) t -> corruption -> string
+(** Apply the corruption to a live endpoint (no-op when dead), emitting a
+    [Corrupt] observability event with a before/after detail.  Returns
+    {!corruption_field}. *)
+
 type stats = {
   views_installed : int;
   proposals_started : int;

@@ -426,16 +426,306 @@ let test_batching_equivalence () =
   check Alcotest.bool "batched arm sent batches" true
     ((Vc.stats_total c_on).Endpoint.batches_sent > 0)
 
+
+(* ---------- stabilization oracle under injected corruption ---------- *)
+
+(* One named corruption per kind, each targeting a distinct endpoint field
+   (Endpoint.corruption_field).  Every kind gets the same treatment: a
+   stabilizing run must pass the oracle (recovery-window noise quarantined,
+   nothing residual), and a mutated never-reconverging run must trip it
+   with a structured violation naming the corrupted field. *)
+let corruption_kinds =
+  [
+    Faults.Seq_skew 3;
+    Faults.Stability_smear (1, 4);
+    Faults.View_skew 2;
+    Faults.Deps_truncate (1, 2);
+  ]
+
+let kind_field kind = Endpoint.corruption_field kind
+
+(* A run that genuinely stabilizes: a formed view, traffic across the
+   corruption, then the post-corruption kick (crash + recover) so fresh
+   views are installed after the last fault and the quarantine window can
+   close. *)
+let stabilizing_run kind =
+  let c = Vc.create ~seed:21L ~n:3 () in
+  let sim = Vc.sim c in
+  Vc.run c ~until:1.0;
+  for i = 0 to 23 do
+    ignore
+      (Sim.at sim
+         (1.0 +. (0.08 *. float_of_int i))
+         (fun () -> Vc.multicast_from c ~node:(i mod 3) ()))
+  done;
+  Vc.run_script c
+    [
+      (2.0, Faults.Corrupt (0, kind));
+      (2.3, Faults.Crash 1);
+      (2.6, Faults.Recover 1);
+    ];
+  Vc.run c ~until:7.0;
+  c
+
+let test_stabilization_passes_stabilizing_runs () =
+  List.iter
+    (fun kind ->
+      let label = Faults.corruption_to_string kind in
+      let c = stabilizing_run kind in
+      let o = Vc.oracle c in
+      (match Oracle.corruptions o with
+      | [ (_, field, time) ] ->
+          check Alcotest.string
+            (label ^ ": recorded corruption names the field")
+            (kind_field kind) field;
+          check Alcotest.bool (label ^ ": recorded at injection time") true
+            (time >= 2.0 && time < 2.1)
+      | l ->
+          Alcotest.failf "%s: expected exactly one recorded corruption, got %d"
+            label (List.length l));
+      match Oracle.stabilization o (Oracle.all_violations o) with
+      | None -> Alcotest.failf "%s: stabilization oracle did not arm" label
+      | Some st ->
+          List.iter
+            (fun (v : Oracle.violation) ->
+              Printf.printf "%s residual: %s\n" label v.Oracle.v_detail)
+            st.Oracle.st_residual;
+          check Alcotest.int (label ^ ": no residual violations") 0
+            (List.length st.Oracle.st_residual);
+          check Alcotest.bool (label ^ ": the kick installed fresh views")
+            true (st.Oracle.st_views >= 2);
+          check Alcotest.bool (label ^ ": the quarantine window closed") true
+            (st.Oracle.st_cut <> None))
+    corruption_kinds
+
+let test_stabilization_trips_on_never_reconverging_runs () =
+  List.iter
+    (fun kind ->
+      let label = Faults.corruption_to_string kind in
+      let c = stabilizing_run kind in
+      let o = Vc.oracle c in
+      (* Mutate the recording into a never-reconverging run: a second
+         corruption after every install the run ever made, then a phantom
+         delivery (an integrity violation) inside the open window. *)
+      Oracle.record_corruption o ~proc:(p 0) ~field:(kind_field kind)
+        ~time:100.0;
+      let phantom = { Oracle.m_sender = p 9; m_index = 77 } in
+      Oracle.record_delivery o ~proc:(p 0)
+        ~vid:(View.Id.make ~epoch:99 ~proposer:(p 1))
+        phantom ~time:101.0;
+      match Oracle.stabilization o (Oracle.all_violations o) with
+      | None -> Alcotest.failf "%s: stabilization oracle did not arm" label
+      | Some st ->
+          check Alcotest.bool (label ^ ": window never closed") true
+            (st.Oracle.st_cut = None);
+          check Alcotest.bool (label ^ ": phantom delivery quarantined") true
+            (st.Oracle.st_quarantined <> []);
+          let v =
+            match st.Oracle.st_residual with
+            | v :: _ -> v
+            | [] ->
+                Alcotest.failf "%s: no residual violation synthesized" label
+          in
+          check Alcotest.bool (label ^ ": residual is a Stabilization verdict")
+            true
+            (v.Oracle.v_property = Explain.Stabilization);
+          assert_mentions
+            (explain_text [ v ])
+            [
+              "violated: stabilization";
+              "never reconverged";
+              kind_field kind ^ "@" ^ Vs_net.Proc_id.to_string (p 0);
+            ])
+    corruption_kinds
+
+let test_stabilization_relabels_persistent_violations () =
+  (* A violation confined to views installed past the bound is a real
+     failure: relabeled Stabilization, detail naming the corrupted field. *)
+  let kind = Faults.Seq_skew 3 in
+  let c = stabilizing_run kind in
+  let o = Vc.oracle c in
+  let last_view =
+    match List.rev (Oracle.installs_of o ~proc:(p 0)) with
+    | (view, _) :: _ -> view
+    | [] -> Alcotest.fail "no installs recorded"
+  in
+  let phantom = { Oracle.m_sender = p 9; m_index = 78 } in
+  Oracle.record_delivery o ~proc:(p 0) ~vid:last_view.View.id phantom
+    ~time:50.0;
+  match Oracle.stabilization o ~bound:1 (Oracle.all_violations o) with
+  | None -> Alcotest.fail "stabilization oracle did not arm"
+  | Some st -> (
+      match st.Oracle.st_residual with
+      | [ v ] ->
+          check Alcotest.bool "relabeled Stabilization" true
+            (v.Oracle.v_property = Explain.Stabilization);
+          assert_mentions
+            (explain_text [ v ])
+            [
+              "violated: stabilization";
+              "persists after the stabilization bound";
+              "integrity";
+              kind_field kind ^ "@" ^ Vs_net.Proc_id.to_string (p 0);
+            ]
+      | l ->
+          Alcotest.failf "expected exactly one residual violation, got %d"
+            (List.length l))
+
+(* ---------- transient campaigns end-to-end ---------- *)
+
+let find_transient_spec ?(protocol = Driver.Vsync) () =
+  let rec go seed =
+    if seed > 400 then Alcotest.fail "no transient campaign draws a corruption?"
+    else
+      let spec =
+        Campaign.generate ~protocol ~transient:true ~seed ~nodes:4 ~quick:true
+          ()
+      in
+      if
+        List.exists
+          (fun (_, a) -> match a with Faults.Corrupt _ -> true | _ -> false)
+          spec.Campaign.script
+      then spec
+      else go (seed + 1)
+  in
+  go 1
+
+let test_transient_campaign_is_judged_by_stabilization () =
+  let spec = find_transient_spec () in
+  let outcome = Campaign.run spec in
+  List.iter print_endline outcome.Campaign.violations;
+  check Alcotest.int "transient campaign is oracle-clean" 0
+    (List.length outcome.Campaign.violations);
+  match outcome.Campaign.quarantine with
+  | None -> Alcotest.fail "no quarantine summary on a transient run"
+  | Some q ->
+      check Alcotest.int "default bound" 2 q.Driver.q_bound;
+      check Alcotest.bool "the run reconverged" true (q.Driver.q_cut <> None)
+
+let test_transient_axis_leaves_plain_campaigns_unchanged () =
+  (* The transient axis must not perturb the RNG stream of existing
+     campaigns: transient:false produces byte-identical specs. *)
+  List.iter
+    (fun seed ->
+      let plain = Campaign.generate ~seed ~nodes:5 ~quick:false () in
+      let explicit =
+        Campaign.generate ~transient:false ~seed ~nodes:5 ~quick:false ()
+      in
+      check Alcotest.bool
+        (Printf.sprintf "seed %d: specs identical" seed)
+        true
+        (Campaign.equal_spec plain explicit
+        && Repro.to_string plain = Repro.to_string explicit))
+    [ 1; 7; 42; 202 ]
+
+let test_transient_explorer_smoke () =
+  let report =
+    Explorer.explore ~transient:true ~seeds:10 ~nodes:4 ~quick:true ()
+  in
+  List.iter
+    (fun (f : Explorer.failure) ->
+      Printf.printf "transient seed %d (%s):\n" f.Explorer.f_seed
+        (Campaign.describe f.Explorer.f_spec);
+      List.iter print_endline f.Explorer.f_outcome.Campaign.violations)
+    report.Explorer.failures;
+  check Alcotest.int "campaigns = seeds x protocols" 20
+    report.Explorer.campaigns;
+  check Alcotest.int "no violations over the transient smoke set" 0
+    (List.length report.Explorer.failures)
+
+(* ---------- transient x batching ---------- *)
+
+let transient_equivalence_run ~config =
+  let c = Vc.create ~seed:4242L ~config ~n:4 () in
+  let sim = Vc.sim c in
+  Vc.run c ~until:1.0;
+  for i = 0 to 29 do
+    ignore
+      (Sim.at sim
+         (1.0 +. (0.02 *. float_of_int i))
+         (fun () ->
+           let node = i mod 4 in
+           let order =
+             if i mod 3 = 0 then Endpoint.Total else Endpoint.Fifo
+           in
+           Vc.multicast_from c ~node ~order ()))
+  done;
+  Vc.run_script c
+    [
+      (1.3, Faults.Corrupt (0, Faults.Seq_skew 2));
+      (2.0, Faults.Crash 3);
+      (2.4, Faults.Recover 3);
+    ];
+  Vc.run c ~until:5.0;
+  c
+
+let test_transient_batching_equivalence () =
+  (* Same seed, same corruption, batching on vs off: the stabilization
+     oracle must reach the same verdict — both reconverge, neither leaves
+     residual violations. *)
+  let base =
+    {
+      Endpoint.default_config with
+      Endpoint.stability_interval = Some 0.05;
+      batch_max = 32;
+      pipeline_depth = 4;
+    }
+  in
+  let verdict config =
+    let c = transient_equivalence_run ~config in
+    let o = Vc.oracle c in
+    match Oracle.stabilization o (Oracle.all_violations o) with
+    | None -> Alcotest.fail "stabilization oracle did not arm"
+    | Some st ->
+        ( List.map (fun (v : Oracle.violation) -> v.Oracle.v_detail)
+            st.Oracle.st_residual,
+          st.Oracle.st_cut <> None )
+  in
+  let residual_off, closed_off = verdict base in
+  let residual_on, closed_on =
+    verdict { base with Endpoint.batching = true }
+  in
+  check (Alcotest.list Alcotest.string) "identical residual verdicts"
+    residual_off residual_on;
+  check (Alcotest.list Alcotest.string) "and both clean" [] residual_on;
+  check Alcotest.bool "both windows closed" true (closed_off && closed_on)
+
 (* ---------- corpus replay ---------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
 
 let test_corpus_replays_clean () =
   let entries = Repro.load_dir "corpus" in
   check Alcotest.bool "corpus is not empty" true (entries <> []);
+  check Alcotest.bool "corpus has a transient artifact" true
+    (List.exists
+       (fun (_, parsed) ->
+         match parsed with
+         | Ok spec -> spec.Campaign.transient
+         | Error _ -> false)
+       entries);
   List.iter
     (fun (path, parsed) ->
       match parsed with
       | Error msg -> Alcotest.failf "%s does not parse: %s" path msg
       | Ok spec ->
+          (* The printed form must parse back to the same spec (the corpus
+             survives format evolution), and machine-written artifacts —
+             the transient one is — must be byte-stable under a
+             parse/print round-trip. *)
+          (match Repro.of_string (Repro.to_string spec) with
+          | Ok spec' ->
+              check Alcotest.bool (path ^ ": round-trips") true
+                (Campaign.equal_spec spec spec')
+          | Error msg -> Alcotest.failf "%s: reprint fails: %s" path msg);
+          if spec.Campaign.transient then
+            check Alcotest.string (path ^ ": byte-identical reprint")
+              (read_file path) (Repro.to_string spec);
           let outcome = Campaign.run spec in
           if outcome.Campaign.violations <> [] then begin
             Printf.printf "%s (%s):\n" path (Campaign.describe spec);
@@ -489,6 +779,23 @@ let () =
         [
           Alcotest.test_case "on/off wire equivalence" `Quick
             test_batching_equivalence;
+          Alcotest.test_case "on/off equivalence under corruption" `Quick
+            test_transient_batching_equivalence;
+        ] );
+      ( "stabilization",
+        [
+          Alcotest.test_case "stabilizing runs pass, per corruption kind"
+            `Quick test_stabilization_passes_stabilizing_runs;
+          Alcotest.test_case "never-reconverging runs trip, per kind" `Quick
+            test_stabilization_trips_on_never_reconverging_runs;
+          Alcotest.test_case "persistent violations are relabeled" `Quick
+            test_stabilization_relabels_persistent_violations;
+          Alcotest.test_case "transient campaign judged by the oracle" `Quick
+            test_transient_campaign_is_judged_by_stabilization;
+          Alcotest.test_case "plain campaigns byte-identical" `Quick
+            test_transient_axis_leaves_plain_campaigns_unchanged;
+          Alcotest.test_case "10-seed transient smoke sweep is clean" `Quick
+            test_transient_explorer_smoke;
         ] );
       ( "corpus",
         [

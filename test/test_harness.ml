@@ -141,7 +141,7 @@ let scripts_keep_someone_alive =
           (match action with
           | Faults.Crash node -> Hashtbl.replace down node ()
           | Faults.Recover node -> Hashtbl.remove down node
-          | Faults.Partition _ | Faults.Heal -> ());
+          | Faults.Partition _ | Faults.Heal | Faults.Corrupt _ -> ());
           Hashtbl.length down < List.length nodes)
         script)
 
@@ -155,7 +155,8 @@ let scripts_end_recovered =
           | Faults.Crash node -> Hashtbl.replace down node ()
           | Faults.Recover node -> Hashtbl.remove down node
           | Faults.Partition _ -> partitioned := true
-          | Faults.Heal -> partitioned := false)
+          | Faults.Heal -> partitioned := false
+          | Faults.Corrupt _ -> ())
         script;
       Hashtbl.length down = 0 && not !partitioned)
 
@@ -171,7 +172,7 @@ let scripts_respect_window =
           match action with
           | Faults.Heal | Faults.Recover _ ->
               time >= start && time <= deadline +. 0.5
-          | Faults.Crash _ | Faults.Partition _ ->
+          | Faults.Crash _ | Faults.Partition _ | Faults.Corrupt _ ->
               time >= start && time < deadline)
         script)
 
@@ -191,8 +192,117 @@ let scripts_valid_actions =
               Hashtbl.remove down node;
               ok
           | Faults.Partition comps -> List.for_all (fun c -> c <> []) comps
-          | Faults.Heal -> true)
+          | Faults.Heal -> true
+          | Faults.Corrupt _ -> true)
         script)
+
+
+(* ---------- transient (corruption-carrying) fault scripts ---------- *)
+
+let transient_script ?(corrupt_weight = 1.2) seed n =
+  let rng = Vs_util.Rng.create seed in
+  let nodes = List.init n (fun i -> i) in
+  ( nodes,
+    Faults.random_script rng ~nodes ~start:1.0 ~duration:5.0 ~mean_gap:0.3
+      ~corrupt_weight () )
+
+let transient_script_property name f =
+  QCheck.Test.make ~name ~count:100 script_gen (fun (seed, n) ->
+      let nodes, script = transient_script seed n in
+      f nodes script)
+
+let transient_scripts_end_recovered =
+  transient_script_property
+    "transient scripts end healed and fully recovered"
+    (fun _nodes script ->
+      let down = Hashtbl.create 8 in
+      let partitioned = ref false in
+      List.iter
+        (fun (_, action) ->
+          match action with
+          | Faults.Crash node -> Hashtbl.replace down node ()
+          | Faults.Recover node -> Hashtbl.remove down node
+          | Faults.Partition _ -> partitioned := true
+          | Faults.Heal -> partitioned := false
+          | Faults.Corrupt _ -> ())
+        script;
+      Hashtbl.length down = 0 && not !partitioned)
+
+let transient_scripts_keep_someone_alive =
+  transient_script_property
+    "transient scripts never kill the whole universe"
+    (fun nodes script ->
+      let down = Hashtbl.create 8 in
+      List.for_all
+        (fun (_, action) ->
+          (match action with
+          | Faults.Crash node -> Hashtbl.replace down node ()
+          | Faults.Recover node -> Hashtbl.remove down node
+          | Faults.Partition _ | Faults.Heal | Faults.Corrupt _ -> ());
+          Hashtbl.length down < List.length nodes)
+        script)
+
+let transient_scripts_target_live_nodes =
+  transient_script_property
+    "corruptions only target nodes alive at injection time"
+    (fun _nodes script ->
+      let down = Hashtbl.create 8 in
+      let up node = not (Hashtbl.mem down node) in
+      List.for_all
+        (fun (_, action) ->
+          match action with
+          | Faults.Crash node ->
+              Hashtbl.replace down node ();
+              true
+          | Faults.Recover node ->
+              Hashtbl.remove down node;
+              true
+          | Faults.Partition _ | Faults.Heal -> true
+          | Faults.Corrupt (node, kind) ->
+              (* Both the corrupted node and any auxiliary node the kind
+                 parameterizes over (smear source, truncated sender) are
+                 drawn from the alive set. *)
+              up node
+              &&
+              (match kind with
+              | Faults.Stability_smear (m, _) | Faults.Deps_truncate (m, _) ->
+                  up m
+              | Faults.Seq_skew _ | Faults.View_skew _ -> true))
+        script)
+
+let transient_scripts_respect_window =
+  transient_script_property
+    "transient scripts keep churn in-window with a short closing tail"
+    (fun _nodes script ->
+      (* Corruptions stay inside the churn window; after the deadline only
+         the closing heal + recoveries and the post-corruption kick (one
+         crash/recover pair) may appear, all within a fixed short tail. *)
+      let start = 1.0 and duration = 5.0 in
+      let deadline = start +. duration in
+      List.for_all
+        (fun (time, action) ->
+          match action with
+          | Faults.Heal | Faults.Recover _ ->
+              time >= start && time <= deadline +. 0.5
+          | Faults.Crash _ ->
+              time >= start
+              && (time < deadline
+                 || (time > deadline && time <= deadline +. 0.5))
+          | Faults.Partition _ | Faults.Corrupt _ ->
+              time >= start && time < deadline)
+        script)
+
+let zero_weight_matches_default =
+  QCheck.Test.make ~name:"corrupt_weight 0 leaves scripts byte-identical"
+    ~count:100 script_gen (fun (seed, n) ->
+      let rng = Vs_util.Rng.create seed in
+      let nodes = List.init n (fun i -> i) in
+      let plain =
+        Faults.random_script rng ~nodes ~start:1.0 ~duration:5.0 ~mean_gap:0.3
+          ()
+      in
+      let _, explicit = transient_script ~corrupt_weight:0.0 seed n in
+      plain = explicit)
 
 (* ---------- stats ---------- *)
 
@@ -257,6 +367,11 @@ let () =
           qt scripts_end_recovered;
           qt scripts_respect_window;
           qt scripts_valid_actions;
+          qt transient_scripts_end_recovered;
+          qt transient_scripts_keep_someone_alive;
+          qt transient_scripts_target_live_nodes;
+          qt transient_scripts_respect_window;
+          qt zero_weight_matches_default;
         ] );
       ( "stats",
         [

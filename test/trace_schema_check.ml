@@ -76,6 +76,17 @@ let sample_entries =
     e 0.2 (Event.Crash { proc = p 2 1 });
     e 0.3 (Event.Partition { components = [ [ 0; 1 ]; [ 2 ] ] });
     e 0.4 Event.Heal;
+    e 0.45
+      (Event.Corrupt
+         { proc = p 1 0; field = "send_seq"; detail = "3 -> 7" });
+    (* Both quarantine shapes: reconverged (a real cut time) and the
+       never-reconverged sentinel (cut = -1). *)
+    e 0.46
+      (Event.Quarantine
+         { bound = 2; opened = 0.45; cut = 0.9; views = 3; quarantined = 1 });
+    e 0.47
+      (Event.Quarantine
+         { bound = 2; opened = 0.45; cut = -1.; views = 1; quarantined = 2 });
     e 0.5 (Event.Note { component = "app"; message = "custom \"quoted\" marker" });
   ]
 
