@@ -232,6 +232,20 @@ let run_obs () =
       off off_pc proto proto_pc;
     exit 1
   end;
+  (* 1c. The static half of the same guarantee: Net publishes the contract
+     list that vslint's A1 annotations prove allocation-free at build time
+     (and rule B1 pins the two sets together).  Record it next to the
+     runtime word counts so the guards are auditable side by side, and
+     refuse an empty contract outright — an empty list would mean the
+     runtime assertion above is measuring functions the analyzer no longer
+     proves anything about. *)
+  let contract = Vs_net.Net.zero_alloc_contract in
+  if contract = [] then begin
+    print_endline
+      "OBS FAILURE: Net.zero_alloc_contract is empty (the static and \
+       runtime zero-alloc guards are no longer tied together)";
+    exit 1
+  end;
   (* 2. Whole-experiment allocation deltas, instrumentation off vs Full, via
      the process-wide default level every Sim.create picks up. *)
   let saved = Recorder.default_level () in
@@ -306,6 +320,8 @@ let run_obs () =
         ("zero_alloc_off_path_batched", Json.Bool (proto_b = off_b));
         ( "zero_alloc_off_path_post_corruption",
           Json.Bool (off_pc = off && proto_pc = proto) );
+        ( "zero_alloc_contract",
+          Json.Arr (List.map (fun s -> Json.Str s) contract) );
         ( "experiments",
           Json.Arr
             (List.map
@@ -324,6 +340,39 @@ let run_obs () =
                    ])
                rows) );
       ]
+
+(* ---------- lint wall time ---------- *)
+
+(* The whole-program lint (call graph + effect fixpoint + C1/A1/S2/B1) is
+   part of every dune runtest via @lint; the quick profile times the same
+   pass so a pathological slowdown of the analyzer shows up in
+   BENCH_obs.json like any other regression.  Skipped when the source tree
+   is not visible from the working directory. *)
+let run_lint_profile () =
+  let roots =
+    List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "examples" ]
+  in
+  if roots <> [] then begin
+    let t0 = now_ms () in
+    let report = Vs_lint.Whole.analyze_paths roots in
+    let ms = now_ms () -. t0 in
+    Printf.printf
+      "lint: whole-program pass over %d file(s) in %.1f ms (%d finding(s))\n\n"
+      report.Vs_lint.Whole.files ms
+      (List.length report.Vs_lint.Whole.findings);
+    bench_record :=
+      !bench_record
+      @ [
+          ( "lint",
+            Json.Obj
+              [
+                ("files", Json.Int report.Vs_lint.Whole.files);
+                ( "findings",
+                  Json.Int (List.length report.Vs_lint.Whole.findings) );
+                ("wall_ms", Json.Float ms);
+              ] );
+        ]
+  end
 
 (* ---------- sustained throughput: the wall-clock profile ---------- *)
 
@@ -654,6 +703,7 @@ let () =
   if only <> [] || run_all then run_experiments ~quick ~only;
   (* CI explores a small seed budget on every quick run. *)
   if quick && only = [] then run_explorer_smoke ();
+  if quick && only = [] then run_lint_profile ();
   if obs || run_all then run_obs ();
   if micro || run_all then run_micro ();
   (* The default profile carries the quick throughput variant, so

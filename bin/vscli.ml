@@ -662,13 +662,38 @@ let trace_cmd =
 
 let lint_cmd =
   let json =
-    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON report.")
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Machine-readable JSON report (same as --format json).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (some (enum [ ("human", Vs_lint.Driver.Human); ("json", Vs_lint.Driver.Json); ("sarif", Vs_lint.Driver.Sarif) ])) None
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Report format: $(b,human) (default), $(b,json), or $(b,sarif) (SARIF 2.1.0).")
+  in
+  let chains =
+    Arg.(
+      value & flag
+      & info [ "chains" ]
+          ~doc:"Also print each function's effect provenance (whole-program pass).")
+  in
+  let changed =
+    Arg.(
+      value & flag
+      & info [ "changed" ]
+          ~doc:
+            "Only report findings in files changed per git diff --name-only \
+             HEAD; the analysis itself stays whole-program.")
   in
   let rules =
     Arg.(
       value & opt_all string []
       & info [ "rule" ] ~docv:"ID"
-          ~doc:"Only report this rule (repeatable): D1 D2 D3 D4 D5 S1.")
+          ~doc:
+            "Only report this rule (repeatable): D1 D2 D3 D4 D5 C1 A1 S1 S2 \
+             B1.")
   in
   let explain =
     Arg.(
@@ -685,25 +710,28 @@ let lint_cmd =
             "Files or directories to lint; defaults to lib bin bench \
              examples.")
   in
-  let run json rules explain paths =
+  let run json format chains changed rules explain paths =
     let code =
       match explain with
       | Some id -> Vs_lint.Driver.explain id
       | None ->
           let format =
-            if json then Vs_lint.Driver.Json else Vs_lint.Driver.Human
+            match format with
+            | Some f -> f
+            | None -> if json then Vs_lint.Driver.Json else Vs_lint.Driver.Human
           in
-          Vs_lint.Driver.run ~format ~rules ~paths ()
+          Vs_lint.Driver.run ~format ~rules ~chains ~changed ~paths ()
     in
     if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Lint the tree for determinism and protocol-hygiene hazards \
-          (rules D1-D5); shares its driver with the standalone vslint \
-          executable and the @lint dune alias.")
-    Term.(const run $ json $ rules $ explain $ paths)
+         "Whole-program lint: per-site determinism rules (D1-D5) plus the \
+          call-graph passes (effect certification C1, alloc-free proof A1, \
+          stale suppressions S2, bench contract B1); shares its driver with \
+          the standalone vslint executable and the @lint dune alias.")
+    Term.(const run $ json $ format $ chains $ changed $ rules $ explain $ paths)
 
 (* ---------- throughput ---------- *)
 

@@ -6,7 +6,7 @@
    Suppressions.  A finding is silenced by a single-line comment on the
    same line or the line directly above:
 
-     [(* vslint: allow D2 — commutative fold *)]
+     [(* vslint: allow <RULE> — commutative fold *)]
 
    The justification after the rule id is mandatory: a bare allow
    suppresses nothing and is itself reported (rule S1).  Suppressions are
@@ -115,6 +115,30 @@ let scan_line ~lineno line =
 let scan_suppressions source =
   let lines = String.split_on_char '\n' source in
   List.concat (List.mapi (fun i line -> scan_line ~lineno:(i + 1) line) lines)
+
+(* ---------- alloc-free annotations ---------- *)
+
+(* An annotation comment — the marker followed by the word below — on the
+   line above (or the line of) a definition puts that function under rule
+   A1: its body must contain no allocating construct.  Scanned textually
+   like suppressions. *)
+let alloc_free = "alloc-" ^ "free"
+
+let scan_annotations source =
+  let lines = String.split_on_char '\n' source in
+  List.concat
+    (List.mapi
+       (fun i line ->
+         match find_sub line marker 0 with
+         | None -> []
+         | Some at ->
+             let j = skip_spaces line (at + String.length marker) in
+             if
+               j + String.length alloc_free <= String.length line
+               && String.sub line j (String.length alloc_free) = alloc_free
+             then [ i + 1 ]
+             else [])
+       lines)
 
 (* ---------- the AST pass ---------- *)
 
@@ -244,6 +268,20 @@ let compare_finding a b =
       | c -> c)
   | c -> c
 
+(* A justified allow silences findings of its rule on its own line and the
+   line directly below.  Shared by the per-file pass and the whole-program
+   rules (C1/A1/B1/S2 findings go through the same gate). *)
+let partition_by_suppressions suppressions findings =
+  let suppressed_by f =
+    List.exists
+      (fun s ->
+        String.equal s.s_rule f.rule.Rules.id
+        && s.s_just <> None
+        && (s.s_line = f.line || s.s_line = f.line - 1))
+      suppressions
+  in
+  List.partition suppressed_by findings
+
 let lint_source ~path source =
   let suppressions = scan_suppressions source in
   let malformed =
@@ -280,15 +318,7 @@ let lint_source ~path source =
         in
         [ { rule = parse_rule; file = path; line; col = 0; message = msg } ]
   in
-  let suppressed_by f =
-    List.exists
-      (fun s ->
-        String.equal s.s_rule f.rule.Rules.id
-        && s.s_just <> None
-        && (s.s_line = f.line || s.s_line = f.line - 1))
-      suppressions
-  in
-  let suppressed, findings = List.partition suppressed_by raw in
+  let suppressed, findings = partition_by_suppressions suppressions raw in
   {
     findings = List.sort compare_finding (malformed @ findings);
     suppressed = List.sort compare_finding suppressed;

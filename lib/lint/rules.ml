@@ -122,6 +122,102 @@ let d5 =
        flagged.)";
   }
 
+let c1 =
+  {
+    id = "C1";
+    severity = Error;
+    title =
+      "protocol module transitively reaches ambient time, randomness, or \
+       Unix I/O";
+    hint =
+      "thread the capability in (Sim.now, a seeded Rng.t, or the injected \
+       I/O interface) instead of calling — directly or through any helper — \
+       Unix.*, Sys.time, or Random.*; the report names the full call chain \
+       to the offending leaf";
+    explain =
+      "D1 is syntactic and per-site: it flags Unix.gettimeofday where it is \
+       written, so a helper in lib/util that wraps the wall clock launders \
+       the effect into every caller unflagged.  C1 closes that hole with a \
+       whole-program analysis: pass 1 builds a module-qualified call graph \
+       over the tree, pass 2 seeds each function with its intrinsic effects \
+       and propagates them to a fixpoint, pass 3 requires every function \
+       defined in the protocol layers (lib/vsync, lib/core, lib/gms, \
+       lib/fd, lib/net, lib/store, lib/apps) to be transitively clean of \
+       Ambient_time, Ambient_rand, and Unix_io.  Effects reached through \
+       the sanctioned capabilities (lib/sim/ and lib/util/rng.ml) are \
+       masked — that is the seam the future real-OS backend plugs into: \
+       protocol code that certifies clean here runs byte-identical under \
+       lib/sim and wall-clock honest under a real backend, with no code \
+       change.  Each violation is reported as the full call chain from the \
+       protocol function to the effect leaf, not just the leaf site.";
+  }
+
+let a1 =
+  {
+    id = "A1";
+    severity = Error;
+    title = "allocating construct in a function annotated alloc-free";
+    hint =
+      "hoist the allocation out of the annotated function (or drop the \
+       annotation); the annotation is written (* vslint" ^ ": alloc-free *) \
+       on the line above the definition";
+    explain =
+      "The send fast path must not allocate when observability is off; the \
+       bench asserts this at runtime with word-exact Gc counters \
+       (words_per_send in bench/main.ml), but a runtime assertion only \
+       guards the scenarios the bench happens to run.  A1 turns the \
+       guarantee into a build-time proof: a function annotated alloc-free \
+       may not contain closure captures, tuple/record/variant/array \
+       construction, string concatenation, known-allocating stdlib calls, \
+       partial applications of known functions, or obvious float boxing — \
+       and may not call another function in this tree whose body contains \
+       such a construct (reported with the call chain to the allocating \
+       site).  Calls that the analysis cannot resolve (first-class \
+       functions, external primitives) are not flagged: the proof is \
+       conservative in what it accepts under the annotation, not in what \
+       it rejects.";
+  }
+
+let s2 =
+  {
+    id = "S2";
+    severity = Warning;
+    title = "stale suppression: the allowed rule no longer fires here";
+    hint =
+      "delete the allow comment — the site it guarded has drifted and the \
+       rule no longer reports anything on this line or the line below";
+    explain =
+      "A justified allow is evidence that a *specific* flagged site was \
+       reviewed and deemed safe.  When the guarded code drifts — the fold \
+       is rewritten, the wall-clock read moves — the comment keeps claiming \
+       a review that no longer corresponds to any finding, and future \
+       readers (and future real findings on nearby lines) inherit \
+       unearned trust.  S2 reports every justified allow whose rule \
+       produces no finding on the suppression's line or the line directly \
+       below, which keeps the tree's allows exactly as honest as the day \
+       each was written.";
+  }
+
+let b1 =
+  {
+    id = "B1";
+    severity = Error;
+    title = "zero-alloc contract entry without an alloc-free annotation";
+    hint =
+      "annotate the named function with (* vslint" ^ ": alloc-free *) or \
+       remove it from Net.zero_alloc_contract; the contract list and the \
+       annotated set must name the same functions";
+    explain =
+      "Two guards protect the zero-allocation send path: the bench's \
+       runtime Gc assertion (which exports Net.zero_alloc_contract into \
+       BENCH_obs.json next to its word counts) and the static A1 \
+       annotations.  If they named different functions they could silently \
+       diverge — the bench measuring one set while the analyzer proves \
+       another.  B1 pins them together: every \"path:function\" entry of \
+       zero_alloc_contract must resolve to a function in the analyzed tree \
+       that carries the alloc-free annotation.";
+  }
+
 let s1 =
   {
     id = "S1";
@@ -138,6 +234,6 @@ let s1 =
        written sentence.";
   }
 
-let all = [ d1; d2; d3; d4; d5; s1 ]
+let all = [ d1; d2; d3; d4; d5; c1; a1; s1; s2; b1 ]
 
 let find id = List.find_opt (fun r -> String.equal r.id id) all

@@ -81,6 +81,7 @@ let create ?(size_of = fun _ -> 1) ?(describe = fun _ -> "msg")
     bytes_sent = 0;
   }
 
+(* vslint: alloc-free *)
 let is_live t p = Hashtbl.mem t.handlers p
 
 let live_on_node t node = Hashtbl.find_opt t.node_live node
@@ -131,7 +132,21 @@ let heal t =
   t.component <- (fun _ -> 0);
   Sim.emit t.sim Event.Heal
 
+(* vslint: alloc-free *)
 let connected t a b = a = b || t.component a = t.component b
+
+(* The metering below runs on every send and every drop, whatever the
+   observability level, so it sits under the zero-allocation contract: the
+   bench asserts at runtime (word-exact Gc counters) and A1 proves at build
+   time that these helpers allocate nothing. *)
+
+(* vslint: alloc-free *)
+let meter_send t ~bytes =
+  t.sent <- t.sent + 1;
+  t.bytes_sent <- t.bytes_sent + bytes
+
+(* vslint: alloc-free *)
+let meter_dropped t = t.dropped <- t.dropped + 1
 
 let sample_delay t ~bytes =
   Rng.uniform t.rng t.config.delay_min t.config.delay_max
@@ -187,11 +202,11 @@ let deliver_later ?(extra_copy = false) t env =
                    }));
         handler env
     | Some _ ->
-        t.dropped <- t.dropped + 1;
+        meter_dropped t;
         emit_drop t ~src:env.src ~dst:env.dst ~payload:env.payload
           ~reason:"partition-inflight"
     | None ->
-        t.dropped <- t.dropped + 1;
+        meter_dropped t;
         emit_drop t ~src:env.src ~dst:env.dst ~payload:env.payload
           ~reason:"dst-dead"
   in
@@ -212,20 +227,19 @@ let deliver_later ?(extra_copy = false) t env =
   end
 
 let send_to t ~src ~dst payload =
-  t.sent <- t.sent + 1;
-  t.bytes_sent <- t.bytes_sent + t.size_of payload;
+  meter_send t ~bytes:(t.size_of payload);
   let self = Proc_id.equal src dst in
   if not (is_live t src) then begin
-    t.dropped <- t.dropped + 1;
+    meter_dropped t;
     emit_drop t ~src ~dst ~payload ~reason:"src-dead"
   end
   else if (not self) && not (connected t src.Proc_id.node dst.Proc_id.node)
   then begin
-    t.dropped <- t.dropped + 1;
+    meter_dropped t;
     emit_drop t ~src ~dst ~payload ~reason:"partition"
   end
   else if (not self) && Rng.bool t.rng t.config.drop_prob then begin
-    t.dropped <- t.dropped + 1;
+    meter_dropped t;
     emit_drop t ~src ~dst ~payload ~reason:"loss"
   end
   else begin
@@ -254,8 +268,7 @@ let send_node t ~src ~dst_node payload =
      re-resolving through a fresh lookup when the message lands. We model it
      by resolving now and also accepting the case where a *newer* incarnation
      appears before arrival: resolve at delivery. *)
-  t.sent <- t.sent + 1;
-  t.bytes_sent <- t.bytes_sent + t.size_of payload;
+  meter_send t ~bytes:(t.size_of payload);
   (* Node-addressed drops render with the n<dst_node> pseudo-destination. *)
   let node_dst () = { Event.node = dst_node; inc = -1 } in
   let emit_node_drop reason =
@@ -271,18 +284,18 @@ let send_node t ~src ~dst_node payload =
            })
   in
   if not (is_live t src) then begin
-    t.dropped <- t.dropped + 1;
+    meter_dropped t;
     emit_node_drop "src-dead"
   end
   else if
     src.Proc_id.node <> dst_node && not (connected t src.Proc_id.node dst_node)
   then begin
-    t.dropped <- t.dropped + 1;
+    meter_dropped t;
     emit_node_drop "partition"
   end
   else if src.Proc_id.node <> dst_node && Rng.bool t.rng t.config.drop_prob
   then begin
-    t.dropped <- t.dropped + 1;
+    meter_dropped t;
     emit_node_drop "loss"
   end
   else begin
@@ -315,13 +328,13 @@ let send_node t ~src ~dst_node payload =
                      });
               handler { src; dst; sent_at; payload }
           | None ->
-              t.dropped <- t.dropped + 1;
+              meter_dropped t;
               emit_node_drop "dst-dead")
       | Some _ ->
-          t.dropped <- t.dropped + 1;
+          meter_dropped t;
           emit_node_drop "partition-inflight"
       | None ->
-          t.dropped <- t.dropped + 1;
+          meter_dropped t;
           emit_node_drop "dst-dead"
     in
     ignore (Sim.after t.sim (sample_delay t ~bytes) deliver);
@@ -356,3 +369,19 @@ let reset_stats t =
   t.dropped <- 0;
   t.duplicated <- 0;
   t.bytes_sent <- 0
+
+(* The zero-allocation contract of the send fast path, as "path:function"
+   entries.  The bench (bench/main.ml) asserts the runtime half — word-exact
+   Gc counters at Protocol/Off observability — and exports this list into
+   BENCH_obs.json next to those counts; vslint's A1 proves each body
+   allocation-free and B1 proves this list and the annotated set name the
+   same functions, so the two guards cannot silently diverge. *)
+let zero_alloc_contract =
+  [
+    "lib/net/net.ml:is_live";
+    "lib/net/net.ml:connected";
+    "lib/net/net.ml:meter_send";
+    "lib/net/net.ml:meter_dropped";
+    "lib/sim/sim.ml:obs_full";
+    "lib/obs/recorder.ml:full_on";
+  ]

@@ -111,3 +111,11 @@ type stats = {
 val stats : 'm t -> stats
 
 val reset_stats : 'm t -> unit
+
+(** The zero-allocation contract of the send fast path: "path:function"
+    names of the guards that run on every send whatever the observability
+    level.  Each named function carries the alloc-free annotation (vslint
+    rule A1 proves the bodies are allocation-free; rule B1 proves this
+    list and the annotated set agree), and the bench exports the list next
+    to its word-exact Gc counters. *)
+val zero_alloc_contract : string list

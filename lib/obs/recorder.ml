@@ -71,6 +71,7 @@ let capacity t = t.capacity
 
 let protocol_on t = match t.level with Off -> false | Protocol | Full -> true
 
+(* vslint: alloc-free *)
 let full_on t = match t.level with Full -> true | Off | Protocol -> false
 
 let emit t ~time event =

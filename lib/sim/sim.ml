@@ -53,6 +53,7 @@ let emit t event = Vs_obs.Recorder.emit t.obs ~time:t.clock event
 
 let obs_on t = Vs_obs.Recorder.protocol_on t.obs
 
+(* vslint: alloc-free *)
 let obs_full t = Vs_obs.Recorder.full_on t.obs
 
 let record t ~component message =

@@ -1,0 +1,13 @@
+(* A1 fixture: annotated functions that allocate; each finding names the
+   allocating construct and its site. *)
+
+(* vslint: alloc-free *)
+let pair x y = (x, y)
+
+(* vslint: alloc-free *)
+let capture x l = List.iter (fun y -> ignore (x + y)) l
+
+let make_pair x = (x, 0)
+
+(* vslint: alloc-free *)
+let wraps x = make_pair x

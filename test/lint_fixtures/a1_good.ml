@@ -1,0 +1,13 @@
+(* A1 fixture: genuinely allocation-free functions, including one that
+   calls a clean same-file helper. *)
+
+(* vslint: alloc-free *)
+let add x y = x + y
+
+(* vslint: alloc-free *)
+let max2 a b = if a > b then a else b
+
+let helper x = x + 1
+
+(* vslint: alloc-free *)
+let uses x = helper x

@@ -1,0 +1,7 @@
+(* C1 fixture: protocol-layer code reaching the wall clock through a
+   two-hop helper chain; no per-file rule fires in this file — only the
+   whole-program pass catches it, and the report carries the full chain. *)
+
+let decide () = C1_util.stamp () > 1.0
+
+let relay () = decide ()

@@ -1,0 +1,4 @@
+(* C1 fixture: protocol code reaching time only through the injected
+   capability — certifies clean. *)
+
+let decide () = C1_sim.now () > 1.0

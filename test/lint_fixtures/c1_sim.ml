@@ -1,0 +1,4 @@
+(* C1 fixture: the sanctioned capability module — ambient effects are
+   masked at this boundary, so callers stay clean. *)
+
+let now () = Unix.gettimeofday ()

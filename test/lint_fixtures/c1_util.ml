@@ -1,0 +1,7 @@
+(* C1 fixture: helpers that launder the wall clock.  Per-file linting only
+   flags the leaf (D1); the whole-program pass makes every caller inherit
+   Ambient_time through this two-hop chain. *)
+
+let raw_now () = Unix.gettimeofday ()
+
+let stamp () = raw_now () +. 1.0

@@ -1,0 +1,7 @@
+(* S2 fixture: a justified allow whose rule no longer fires on the line it
+   guards or the line below — the flagged site drifted away. *)
+
+let safe_sum l = List.fold_left ( + ) 0 l
+
+(* vslint: allow D2 — commutative fold *)
+let unrelated = 1

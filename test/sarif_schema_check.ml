@@ -1,0 +1,157 @@
+(* dune build @sarif-schema — freeze the shape of vslint's SARIF output.
+
+   The emitter renders a fixed synthetic report; this check compares it
+   byte-for-byte against the committed sample (so field order, escaping,
+   and float/int rendering cannot drift silently) and then parses the
+   sample as JSON and re-validates the structural invariants every SARIF
+   2.1.0 consumer relies on: version, one run, tool.driver.name, the full
+   rule table, and per-result ruleId/level/location shapes.
+
+   Regenerate the sample after an intentional emitter change with
+     dune exec test/sarif_schema_check.exe -- --write test/sarif_sample.sarif *)
+
+module Json = Vs_obs.Json
+module Lint = Vs_lint.Lint
+module Rules = Vs_lint.Rules
+module Sarif = Vs_lint.Sarif
+
+let rule id =
+  match Rules.find id with
+  | Some r -> r
+  | None -> failwith ("sarif_schema_check: unknown rule " ^ id)
+
+(* A fixed report exercising both severities, a whole-program chain message
+   (with its UTF-8 arrow), and characters the emitter must escape. *)
+let synthetic_findings =
+  [
+    {
+      Lint.rule = rule "D1";
+      file = "lib/example/clock.ml";
+      line = 3;
+      col = 17;
+      message = "Unix.gettimeofday reads the wall clock; use Sim.now";
+    };
+    {
+      Lint.rule = rule "C1";
+      file = "lib/vsync/example.ml";
+      line = 12;
+      col = 4;
+      message =
+        "decide reaches Ambient_time outside the Sim capability: \
+         lib/vsync/example.ml:decide \xe2\x86\x92 lib/util/clock.ml:stamp \
+         \xe2\x86\x92 Unix.gettimeofday (lib/util/clock.ml:3)";
+    };
+    {
+      Lint.rule = rule "D2";
+      file = "lib/example/tabs.ml";
+      line = 7;
+      col = 2;
+      message = "Hashtbl.fold enumerates a hash table \"in\" unspecified order";
+    };
+  ]
+
+let emitted = Sarif.emit ~findings:synthetic_findings ^ "\n"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "sarif-schema: %s\n" msg;
+      exit 1)
+    fmt
+
+let member name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> fail "missing field %S" name
+
+let as_list what j =
+  match Json.to_list_opt j with
+  | Some l -> l
+  | None -> fail "%s is not an array" what
+
+let as_string what j =
+  match Json.to_string_opt j with
+  | Some s -> s
+  | None -> fail "%s is not a string" what
+
+let validate text =
+  let j =
+    match Json.of_string text with
+    | Ok j -> j
+    | Error e -> fail "sample does not parse as JSON: %s" e
+  in
+  if as_string "version" (member "version" j) <> "2.1.0" then
+    fail "version is not 2.1.0";
+  let runs = as_list "runs" (member "runs" j) in
+  let run = match runs with [ r ] -> r | l -> fail "expected 1 run, got %d" (List.length l) in
+  let driver = member "driver" (member "tool" run) in
+  if as_string "driver.name" (member "name" driver) <> "vslint" then
+    fail "tool.driver.name is not vslint";
+  let rules = as_list "rules" (member "rules" driver) in
+  if List.length rules <> List.length Rules.all then
+    fail "rule table has %d entries, expected %d (Rules.all)"
+      (List.length rules) (List.length Rules.all);
+  List.iter
+    (fun r ->
+      let id = as_string "rule id" (member "id" r) in
+      if Rules.find id = None then fail "rule %S is not in Rules.all" id;
+      ignore (member "text" (member "shortDescription" r));
+      ignore (member "text" (member "fullDescription" r));
+      ignore (member "text" (member "help" r));
+      let level =
+        as_string "rule level" (member "level" (member "defaultConfiguration" r))
+      in
+      if level <> "error" && level <> "warning" then
+        fail "rule %s has bad level %S" id level)
+    rules;
+  let results = as_list "results" (member "results" run) in
+  if List.length results <> List.length synthetic_findings then
+    fail "expected %d results, got %d"
+      (List.length synthetic_findings)
+      (List.length results);
+  List.iter
+    (fun r ->
+      let id = as_string "ruleId" (member "ruleId" r) in
+      if Rules.find id = None then fail "result names unknown rule %S" id;
+      ignore (member "text" (member "message" r));
+      let locs = as_list "locations" (member "locations" r) in
+      let loc = match locs with [ l ] -> l | _ -> fail "result must have 1 location" in
+      let phys = member "physicalLocation" loc in
+      ignore (as_string "uri" (member "uri" (member "artifactLocation" phys)));
+      let region = member "region" phys in
+      let pos name =
+        match Json.to_int_opt (member name region) with
+        | Some n when n >= 1 -> n
+        | Some n -> fail "%s = %d is not 1-based" name n
+        | None -> fail "%s is not an int" name
+      in
+      ignore (pos "startLine");
+      ignore (pos "startColumn"))
+    results
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--write"; path ] ->
+      let oc = open_out_bin path in
+      output_string oc emitted;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n" path (String.length emitted)
+  | [ _; sample_path ] ->
+      let sample = read_file sample_path in
+      if not (String.equal sample emitted) then
+        fail
+          "emitter output drifted from the committed sample %s; if the \
+           change is intentional, regenerate with --write"
+          sample_path;
+      validate sample;
+      print_endline "sarif-schema: sample is byte-identical and structurally valid"
+  | _ ->
+      prerr_endline
+        "usage: sarif_schema_check (SAMPLE | --write SAMPLE)";
+      exit 2

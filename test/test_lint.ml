@@ -118,6 +118,213 @@ let test_identical_seed_identical_trace () =
   check Alcotest.bool "trace is non-trivial" true (String.length a > 1000);
   check Alcotest.string "byte-identical traces" a b
 
+(* ---------- whole-program passes: C1 / A1 / S2 / B1 ---------- *)
+
+module Whole = Vs_lint.Whole
+
+(* Fixtures are *played* at tree-relevant paths: the protected-directory
+   logic keys on the path, so the same fixture file can stand in for
+   protocol code (lib/vsync/...) or a helper (lib/util/...). *)
+let played files =
+  List.map
+    (fun (as_path, name) -> (as_path, Lint.read_file (fixture name)))
+    files
+
+let by_rule id (r : Whole.report) =
+  List.filter
+    (fun (f : Lint.finding) -> String.equal f.Lint.rule.Rules.id id)
+    r.Whole.findings
+
+let rendered (fs : Lint.finding list) =
+  List.map
+    (fun (f : Lint.finding) ->
+      Printf.sprintf "%s:%d:%d:%s: %s" f.Lint.file f.Lint.line f.Lint.col
+        f.Lint.rule.Rules.id f.Lint.message)
+    fs
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let check_contains what sub s =
+  check Alcotest.bool
+    (Printf.sprintf "%s mentions %S (got %S)" what sub s)
+    true (contains ~sub s)
+
+(* The annotation marker, assembled so this file never registers it. *)
+let alloc_free_marker = "(* vs" ^ "lint: alloc-free *)"
+
+let test_c1_two_hop_chain () =
+  let r =
+    Whole.analyze
+      ~files:
+        (played
+           [
+             ("lib/util/c1_util.ml", "c1_util.ml");
+             ("lib/vsync/c1_bad.ml", "c1_bad.ml");
+           ])
+      ()
+  in
+  match by_rule "C1" r with
+  | [ f ] ->
+      (* [relay] also inherits the effect but through the already-flagged
+         [decide], so only the crossing is reported. *)
+      check Alcotest.string "file" "lib/vsync/c1_bad.ml" f.Lint.file;
+      check Alcotest.int "line (decide)" 5 f.Lint.line;
+      check Alcotest.int "col (decide)" 4 f.Lint.col;
+      check_contains "C1 message" "Ambient_time" f.Lint.message;
+      check_contains "C1 chain hop 1" "c1_util.ml:stamp" f.Lint.message;
+      check_contains "C1 chain hop 2" "c1_util.ml:raw_now" f.Lint.message;
+      check_contains "C1 chain leaf" "Unix.gettimeofday" f.Lint.message
+  | fs ->
+      Alcotest.failf "expected exactly one C1 finding, got %d: %s"
+        (List.length fs)
+        (String.concat " | " (rendered fs))
+
+let test_c1_capability_mask () =
+  let r =
+    Whole.analyze
+      ~files:
+        (played
+           [
+             ("lib/sim/c1_sim.ml", "c1_sim.ml");
+             ("lib/vsync/c1_good.ml", "c1_good.ml");
+           ])
+      ()
+  in
+  check (Alcotest.list Alcotest.string)
+    "capability route certifies clean (no findings at all)" []
+    (rendered r.Whole.findings)
+
+let test_a1_bad_fixture () =
+  let path = fixture "a1_bad.ml" in
+  let r = Whole.analyze ~files:[ (path, Lint.read_file path) ] () in
+  let a1 = by_rule "A1" r in
+  check (Alcotest.list Alcotest.string) "only A1 fires"
+    [ "A1"; "A1"; "A1" ]
+    (List.map (fun (f : Lint.finding) -> f.Lint.rule.Rules.id)
+       r.Whole.findings);
+  check (Alcotest.list Alcotest.int) "allocating sites" [ 5; 8; 13 ]
+    (List.map (fun (f : Lint.finding) -> f.Lint.line) a1);
+  (match a1 with
+  | [ tuple; closure; call ] ->
+      check_contains "tuple finding" "tuple construction" tuple.Lint.message;
+      check_contains "closure finding" "closure" closure.Lint.message;
+      check_contains "interprocedural finding" "make_pair" call.Lint.message
+  | _ -> Alcotest.fail "expected three A1 findings")
+
+let test_a1_good_fixture () =
+  let path = fixture "a1_good.ml" in
+  let r = Whole.analyze ~files:[ (path, Lint.read_file path) ] () in
+  check (Alcotest.list Alcotest.string) "annotated clean functions pass" []
+    (rendered r.Whole.findings)
+
+let test_a1_orphan_annotation () =
+  let source = alloc_free_marker ^ "\n\nlet later = 1\n" in
+  let r = Whole.analyze ~files:[ ("orphan.ml", source) ] () in
+  match r.Whole.findings with
+  | [ f ] ->
+      check Alcotest.string "rule" "A1" f.Lint.rule.Rules.id;
+      check Alcotest.int "line" 1 f.Lint.line;
+      check_contains "orphan message" "does not precede" f.Lint.message
+  | fs ->
+      Alcotest.failf "expected one orphan-annotation finding, got %s"
+        (String.concat " | " (rendered fs))
+
+let test_s2_stale () =
+  let path = fixture "s2_bad.ml" in
+  let r = Whole.analyze ~files:[ (path, Lint.read_file path) ] () in
+  match r.Whole.findings with
+  | [ f ] ->
+      check Alcotest.string "rule" "S2" f.Lint.rule.Rules.id;
+      check Alcotest.int "line of the stale allow" 6 f.Lint.line;
+      check_contains "names the allowed rule" "allow D2" f.Lint.message
+  | fs ->
+      Alcotest.failf "expected one S2 finding, got %s"
+        (String.concat " | " (rendered fs))
+
+let test_s2_live () =
+  let path = fixture "s2_good.ml" in
+  let r = Whole.analyze ~files:[ (path, Lint.read_file path) ] () in
+  check (Alcotest.list Alcotest.string) "live allow: no findings" []
+    (rendered r.Whole.findings);
+  check (Alcotest.list Alcotest.string) "the D2 stays suppressed" [ "D2" ]
+    (List.map
+       (fun (f : Lint.finding) -> f.Lint.rule.Rules.id)
+       r.Whole.suppressed)
+
+let test_b1_contract () =
+  let bad =
+    "let zero_alloc_contract = [ \"fake_net.ml:guard\" ]\n\nlet guard t = t\n"
+  in
+  let r = Whole.analyze ~files:[ ("fake_net.ml", bad) ] () in
+  (match r.Whole.findings with
+  | [ f ] ->
+      check Alcotest.string "rule" "B1" f.Lint.rule.Rules.id;
+      check Alcotest.int "line of the contract" 1 f.Lint.line;
+      check_contains "names the entry" "fake_net.ml:guard" f.Lint.message
+  | fs ->
+      Alcotest.failf "expected one B1 finding, got %s"
+        (String.concat " | " (rendered fs)));
+  let good =
+    alloc_free_marker
+    ^ "\nlet guard t = t\n\nlet zero_alloc_contract = [ \"fake_net.ml:guard\" \
+       ]\n"
+  in
+  let r = Whole.analyze ~files:[ ("fake_net.ml", good) ] () in
+  check (Alcotest.list Alcotest.string) "annotated entry satisfies B1" []
+    (rendered r.Whole.findings)
+
+let whole_fixture_set () =
+  played
+    [
+      ("lib/util/c1_util.ml", "c1_util.ml");
+      ("lib/vsync/c1_bad.ml", "c1_bad.ml");
+      ("lib/sim/c1_sim.ml", "c1_sim.ml");
+      ("lib/vsync/c1_good.ml", "c1_good.ml");
+      ("lib/net/a1_bad.ml", "a1_bad.ml");
+      ("lib/net/a1_good.ml", "a1_good.ml");
+      ("bin/s2_bad.ml", "s2_bad.ml");
+      ("bin/s2_good.ml", "s2_good.ml");
+    ]
+
+let test_whole_determinism () =
+  let run () =
+    let r = Whole.analyze ~files:(whole_fixture_set ()) () in
+    (rendered r.Whole.findings, rendered r.Whole.suppressed, r.Whole.chains)
+  in
+  let f1, s1, c1 = run () and f2, s2, c2 = run () in
+  check Alcotest.bool "found something" true (f1 <> []);
+  check (Alcotest.list Alcotest.string) "identical findings" f1 f2;
+  check (Alcotest.list Alcotest.string) "identical suppressions" s1 s2;
+  check (Alcotest.list Alcotest.string) "identical chains" c1 c2
+
+(* The acceptance bar for the tree itself: the whole-program pass reports
+   nothing on the real sources, and the bench's zero-alloc contract is
+   present and exported.  dune copies the sources next to the test dir, so
+   this runs against ../lib et al; @lint enforces the same from the rule
+   side, so skipping when the sources are not visible loses nothing. *)
+let test_real_tree_certified () =
+  let roots = List.filter Sys.file_exists [ "../lib"; "../bin"; "../bench" ] in
+  if roots <> [] then begin
+    let r = Whole.analyze_paths roots in
+    check (Alcotest.list Alcotest.string) "real tree certifies clean" []
+      (rendered r.Whole.findings);
+    let net = "../lib/net/net.ml" in
+    if Sys.file_exists net then begin
+      let src = Lint.read_file net in
+      check Alcotest.bool "net.ml publishes the contract" true
+        (contains ~sub:"zero_alloc_contract" src);
+      check Alcotest.bool "contract covers the send meters" true
+        (contains ~sub:":meter_send" src)
+    end;
+    let bench = "../bench/main.ml" in
+    if Sys.file_exists bench then
+      check Alcotest.bool "bench exports the contract it measures" true
+        (contains ~sub:"zero_alloc_contract" (Lint.read_file bench))
+  end
+
 let () =
   Alcotest.run "vs_lint"
     [
@@ -156,6 +363,24 @@ let () =
             test_same_line_suppression;
           Alcotest.test_case "d1 exemptions" `Quick test_d1_exemptions;
           Alcotest.test_case "unparseable source" `Quick test_unparseable_source;
+        ] );
+      ( "whole-program",
+        [
+          Alcotest.test_case "C1 two-hop laundering chain" `Quick
+            test_c1_two_hop_chain;
+          Alcotest.test_case "C1 capability mask" `Quick
+            test_c1_capability_mask;
+          Alcotest.test_case "A1 bad fixture" `Quick test_a1_bad_fixture;
+          Alcotest.test_case "A1 good fixture" `Quick test_a1_good_fixture;
+          Alcotest.test_case "A1 orphan annotation" `Quick
+            test_a1_orphan_annotation;
+          Alcotest.test_case "S2 stale allow" `Quick test_s2_stale;
+          Alcotest.test_case "S2 live allow" `Quick test_s2_live;
+          Alcotest.test_case "B1 contract coverage" `Quick test_b1_contract;
+          Alcotest.test_case "identical findings across two runs" `Quick
+            test_whole_determinism;
+          Alcotest.test_case "real tree certifies clean" `Quick
+            test_real_tree_certified;
         ] );
       ( "determinism",
         [
