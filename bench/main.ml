@@ -105,10 +105,16 @@ let measured_alloc f =
    allocations, with no GC-phase noise.  ([Gc.allocated_bytes] deltas are not
    stable here: the heap-array growths land minor-or-major depending on
    nursery phase.) *)
-let words_per_send ~level =
+let words_per_send ?(with_series = false) ~level () =
   let module Net = Vs_net.Net in
   let module Sim = Vs_sim.Sim in
   let recorder = Recorder.create ~level () in
+  (* [with_series] attaches a vsmon scrape series at the default interval —
+     the acceptance bar is that the off-path word count does not move. *)
+  if with_series then begin
+    let s = Vs_obs.Series.create () in
+    Recorder.set_sink recorder (Some (Vs_obs.Series.observe s))
+  end;
   let sim = Sim.create ~seed:11L ~obs:recorder () in
   let net = Net.create sim Net.default_config in
   let a = Proc_id.initial 0 and b = Proc_id.initial 1 in
@@ -124,6 +130,28 @@ let words_per_send ~level =
     Net.send net ~src:a ~dst:b 0
   done;
   (Gc.minor_words () -. w0) /. float_of_int sends
+
+(* Words allocated per [Hdr.record] — the runtime half of the A1 alloc-free
+   certificate on the histogram's record path.  The sample values are
+   pre-boxed in a list and the recording closure is pre-allocated, so the
+   measured loop executes nothing but [record] itself; the assertion in
+   [run_obs] demands exactly zero. *)
+let words_per_hdr_record () =
+  let module Hdr = Vs_obs.Hdr in
+  let h = Hdr.create () in
+  let samples = [ 0.0; 0.0000004; 0.0001; 0.004; 0.2; 3.5; 70.; 2.5e7 ] in
+  let record_one = Hdr.record h in
+  let record_all () = List.iter record_one samples in
+  for _ = 1 to 20_000 do
+    record_all ()
+  done;
+  Gc.minor ();
+  let reps = 64 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to reps do
+    record_all ()
+  done;
+  (Gc.minor_words () -. w0) /. float_of_int (reps * List.length samples)
 
 (* The same off-path discipline, re-asserted for the batched data plane: a
    net instantiated exactly as the protocol stack builds it (Wire sizing,
@@ -185,9 +213,9 @@ let run_obs () =
   print_endline "### OBS — observability overhead (instrumentation off vs on)\n";
   (* 1. The send fast path must not allocate for instrumentation unless the
      run records at Full level: Off and Protocol must match to the word. *)
-  let off = words_per_send ~level:Recorder.Off in
-  let proto = words_per_send ~level:Recorder.Protocol in
-  let full = words_per_send ~level:Recorder.Full in
+  let off = words_per_send ~level:Recorder.Off () in
+  let proto = words_per_send ~level:Recorder.Protocol () in
+  let full = words_per_send ~level:Recorder.Full () in
   let off_b = words_per_send_batch ~level:Recorder.Off in
   let proto_b = words_per_send_batch ~level:Recorder.Protocol in
   let full_b = words_per_send_batch ~level:Recorder.Full in
@@ -223,13 +251,36 @@ let run_obs () =
   (* 1b. Corruption hooks compiled in and exercised must leave the off-path
      send allocation word-for-word where it was. *)
   exercise_corruption_hooks ();
-  let off_pc = words_per_send ~level:Recorder.Off in
-  let proto_pc = words_per_send ~level:Recorder.Protocol in
+  let off_pc = words_per_send ~level:Recorder.Off () in
+  let proto_pc = words_per_send ~level:Recorder.Protocol () in
   if off_pc <> off || proto_pc <> proto then begin
     Printf.printf
       "OBS FAILURE: send allocation moved after exercising corruption hooks \
        (off %.1f -> %.1f, protocol %.1f -> %.1f words/send)\n"
       off off_pc proto proto_pc;
+    exit 1
+  end;
+  (* 1b'. A vsmon series scraping at the default interval must be invisible
+     to the same word counts: window closing is driven by recorded events,
+     and below Full the send path records nothing. *)
+  let off_s = words_per_send ~with_series:true ~level:Recorder.Off () in
+  let proto_s = words_per_send ~with_series:true ~level:Recorder.Protocol () in
+  if off_s <> off || proto_s <> proto then begin
+    Printf.printf
+      "OBS FAILURE: send allocation moved with a scrape series attached \
+       (off %.1f -> %.1f, protocol %.1f -> %.1f words/send)\n"
+      off off_s proto proto_s;
+    exit 1
+  end;
+  (* 1b''. The histogram record path itself: rule A1 proves it allocation-
+     free statically; the word counter must agree exactly. *)
+  let hdr_words = words_per_hdr_record () in
+  Printf.printf "Hdr.record: %.3f words/record (must be 0)\n\n" hdr_words;
+  if hdr_words <> 0.0 then begin
+    Printf.printf
+      "OBS FAILURE: Hdr.record allocates %.3f words per call (A1 certifies \
+       it alloc-free)\n"
+      hdr_words;
     exit 1
   end;
   (* 1c. The static half of the same guarantee: Net publishes the contract
@@ -239,7 +290,9 @@ let run_obs () =
      refuse an empty contract outright — an empty list would mean the
      runtime assertion above is measuring functions the analyzer no longer
      proves anything about. *)
-  let contract = Vs_net.Net.zero_alloc_contract in
+  let contract =
+    Vs_net.Net.zero_alloc_contract @ Vs_obs.Hdr.zero_alloc_contract
+  in
   if contract = [] then begin
     print_endline
       "OBS FAILURE: Net.zero_alloc_contract is empty (the static and \
@@ -247,24 +300,45 @@ let run_obs () =
     exit 1
   end;
   (* 2. Whole-experiment allocation deltas, instrumentation off vs Full, via
-     the process-wide default level every Sim.create picks up. *)
+     the process-wide default level every Sim.create picks up.  Allocation
+     is deterministic, so one run measures it; wall clock is not, so the
+     reported wall_ms_* is the median of [wall_reps] runs (satellite of
+     PR 9: single-shot numbers produced nonsense like e1's on < off). *)
+  let wall_reps = 3 in
+  let median xs =
+    let sorted = List.sort Float.compare xs in
+    List.nth sorted (List.length sorted / 2)
+  in
   let saved = Recorder.default_level () in
   let rows =
     List.map
       (fun (id, _blurb, tables) ->
         let run : ?quick:bool -> unit -> Table.t list = tables in
-        Recorder.set_default_level Recorder.Off;
-        let t0 = now_ms () in
-        let bytes_off = measured_alloc (fun () -> ignore (run ~quick:true ())) in
-        let ms_off = now_ms () -. t0 in
-        Recorder.set_default_level Recorder.Full;
-        let t1 = now_ms () in
-        let bytes_on = measured_alloc (fun () -> ignore (run ~quick:true ())) in
-        let ms_on = now_ms () -. t1 in
+        let measure level =
+          Recorder.set_default_level level;
+          let t0 = now_ms () in
+          let bytes = measured_alloc (fun () -> ignore (run ~quick:true ())) in
+          let first_ms = now_ms () -. t0 in
+          let rest =
+            List.init (wall_reps - 1) (fun _ ->
+                let t = now_ms () in
+                ignore (run ~quick:true ());
+                now_ms () -. t)
+          in
+          (bytes, median (first_ms :: rest))
+        in
+        let bytes_off, ms_off = measure Recorder.Off in
+        let bytes_on, ms_on = measure Recorder.Full in
         (id, bytes_off, bytes_on, ms_off, ms_on))
       experiments
   in
   Recorder.set_default_level saved;
+  (* The obs section's experiment record is the heart of BENCH_obs.json —
+     refuse to emit an empty one. *)
+  if rows = [] then begin
+    print_endline "OBS FAILURE: no per-experiment overhead rows measured";
+    exit 1
+  end;
   let delta_table =
     Table.create
       ~title:
@@ -320,6 +394,10 @@ let run_obs () =
         ("zero_alloc_off_path_batched", Json.Bool (proto_b = off_b));
         ( "zero_alloc_off_path_post_corruption",
           Json.Bool (off_pc = off && proto_pc = proto) );
+        ( "zero_alloc_off_path_with_series",
+          Json.Bool (off_s = off && proto_s = proto) );
+        ("hdr_record_words_per_call", Json.Float hdr_words);
+        ("zero_alloc_hdr_record", Json.Bool (hdr_words = 0.0));
         ( "zero_alloc_contract",
           Json.Arr (List.map (fun s -> Json.Str s) contract) );
         ( "experiments",
@@ -437,6 +515,24 @@ let run_throughput ~quick ~scale =
                        (TP.hist_pct r.TP.r_flush 0.5)
                        (TP.hist_pct r.TP.r_flush 0.99);
                      ("wire_msgs_per_op", Json.Float r.TP.r_wire_per_op);
+                     ( "windows",
+                       Json.Arr
+                         (List.map
+                            (fun (w : TP.window_stat) ->
+                              Json.Obj
+                                [
+                                  ("window", Json.Int w.TP.ws_index);
+                                  ("t_start", Json.Float w.TP.ws_start);
+                                  ("t_end", Json.Float w.TP.ws_end);
+                                  ("applied", Json.Int w.TP.ws_applied);
+                                  ("ops_per_s", Json.Float w.TP.ws_ops_per_s);
+                                  ("installs", Json.Int w.TP.ws_installs);
+                                  ( "install_p99_ms",
+                                    match w.TP.ws_install_p99 with
+                                    | Some s -> Json.Float (s *. 1000.)
+                                    | None -> Json.Null );
+                                ])
+                            r.TP.r_windows) );
                    ])
                kv) );
         ( "data_plane",
@@ -711,19 +807,71 @@ let () =
   if throughput then run_throughput ~quick ~scale
   else if run_all then run_throughput ~quick:true ~scale:false;
   (* Consolidated record: whatever sections ran, plus the wall time of every
-     experiment of this invocation.  Skipped when nothing fed it (e.g. a
-     throughput-only run, which writes its own artifact) so a partial
-     invocation never wipes the committed record. *)
-  if !bench_record <> [] || !exp_walls <> [] then begin
+     experiment of this invocation.  [experiment_wall_ms] is only emitted
+     when the experiment registry actually ran — an obs-only invocation used
+     to leave a dead [{}] behind.  Written only when the obs section itself
+     ran: it is the heart of the artifact, and a partial invocation
+     (experiments only, `throughput quick`'s smoke+lint ride-alongs) must
+     never wipe the committed record down to its own subset of keys. *)
+  if (obs || run_all) && (!bench_record <> [] || !exp_walls <> []) then begin
     let json =
       Json.Obj
         (!bench_record
-        @ [
-            ( "experiment_wall_ms",
-              Json.Obj
-                (List.map (fun (id, ms) -> (id, Json.Float ms)) !exp_walls) );
-          ])
+        @
+        match !exp_walls with
+        | [] -> []
+        | walls ->
+            [
+              ( "experiment_wall_ms",
+                Json.Obj (List.map (fun (id, ms) -> (id, Json.Float ms)) walls)
+              );
+            ])
     in
+    (* Regression gate: diff the candidate record against the committed
+       BENCH_obs.json before overwriting it.  Only deterministic keys
+       (zero-alloc booleans, counted words, lint findings) gate — wall
+       clock and allocation totals are reported but never fail the bench.
+       On a deterministic regression the committed baseline is left in
+       place so a re-run still sees it. *)
+    let module Bd = Vs_obs.Bench_diff in
+    let baseline =
+      if Sys.file_exists "BENCH_obs.json" then begin
+        let ic = open_in_bin "BENCH_obs.json" in
+        let text =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match Json.of_string text with
+        | Ok doc -> Some doc
+        | Error msg ->
+            Printf.printf "note: committed BENCH_obs.json unparseable (%s); \
+                           skipping the regression diff\n" msg;
+            None
+      end
+      else None
+    in
+    let regressed =
+      match baseline with
+      | None -> false
+      | Some old_doc ->
+          let rows = Bd.diff ~old_doc ~new_doc:json () in
+          Table.print (Bd.to_table rows);
+          print_endline (Bd.summary rows);
+          let det = Bd.deterministic_regressions rows in
+          List.iter
+            (fun (r : Bd.row) ->
+              Printf.printf "BENCH REGRESSION (deterministic key): %s (%s)\n"
+                r.Bd.key r.Bd.r_note)
+            det;
+          det <> []
+    in
+    if regressed then begin
+      print_endline
+        "BENCH_obs.json left unchanged (deterministic regression vs the \
+         committed baseline)";
+      exit 1
+    end;
     let oc = open_out "BENCH_obs.json" in
     output_string oc (Json.to_string json);
     output_char oc '\n';

@@ -7,6 +7,9 @@
      explain      run/replay a campaign and print the failure attribution
      query        run/replay a campaign and filter the recorded event stream
      trace        run a campaign and dump the annotated event trace
+     top          per-window vsmon telemetry + flush-stall attribution
+     metrics      expose the end-of-run registry (OpenMetrics or JSON)
+     bench diff   compare two BENCH_*.json artifacts; non-zero on regression
      lint         run the vslint determinism checks (same driver as vslint) *)
 
 module Sim = Vs_sim.Sim
@@ -658,6 +661,172 @@ let trace_cmd =
       const run $ seed_arg $ nodes_arg $ format $ replay_arg $ components
       $ limit $ evs_arg)
 
+(* ---------- top / metrics (vsmon surfacing) ---------- *)
+
+module Series = Vs_obs.Series
+module Stall = Vs_obs.Stall
+module Openmetrics = Vs_obs.Openmetrics
+module Bench_diff = Vs_obs.Bench_diff
+
+let interval_arg =
+  Arg.(
+    value
+    & opt float Series.default_interval
+    & info [ "interval" ] ~docv:"SECONDS"
+        ~doc:"Scrape window length in simulated seconds.")
+
+(* Run a seed campaign or corpus repro with a vsmon series tapping the
+   recorder, and close the final window at the last recorded timestamp.
+   Shared by `top` and `metrics`. *)
+(* Full recording level so the series sees data-path traffic too (net.sends
+   and friends are Full-only events); the level only widens what gets
+   recorded — it draws nothing from the RNG, so seeded runs stay aligned
+   with every other subcommand. *)
+let run_with_series ~spec ~interval =
+  let obs = Recorder.create ~level:Recorder.Full () in
+  let series = Series.create ~interval () in
+  Recorder.set_sink obs (Some (Series.observe series));
+  let outcome = Campaign.run ~obs spec in
+  let last_time =
+    match List.rev (Recorder.tail ~limit:1 obs) with
+    | e :: _ -> e.Recorder.time
+    | [] -> 0.
+  in
+  Series.finish series ~now:last_time;
+  (series, obs, outcome)
+
+let top_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Machine-readable JSON instead of tables.")
+  in
+  let run seed nodes evs replay interval json =
+    let spec = spec_of ~seed ~nodes ~evs ~replay in
+    let series, obs, _outcome = run_with_series ~spec ~interval in
+    let attrs = Stall.of_entries (Recorder.entries obs) in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("series", Series.to_json series);
+                ("stall", Stall.to_json ~interval attrs);
+              ]))
+    else begin
+      Printf.printf "%s\n" (Campaign.describe spec);
+      Vs_stats.Table.print (Series.to_table series);
+      Vs_stats.Table.print (Stall.to_table ~interval attrs)
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Continuous telemetry for a seed campaign or corpus repro: \
+          per-window protocol activity and cost percentiles (the vsmon \
+          series), plus the flush-stall attribution splitting each \
+          install's latency into propose-wait / flush-ack-wait / \
+          stability-wait.")
+    Term.(
+      const run $ seed_arg $ nodes_arg $ evs_arg $ replay_arg $ interval_arg
+      $ json)
+
+let metrics_cmd =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("openmetrics", `Openmetrics); ("json", `Json) ])
+          `Openmetrics
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,openmetrics) (Prometheus text exposition) \
+             or $(b,json).")
+  in
+  let run seed nodes evs replay interval format =
+    let spec = spec_of ~seed ~nodes ~evs ~replay in
+    let series, _obs, _outcome = run_with_series ~spec ~interval in
+    let m = Series.metrics series in
+    match format with
+    | `Openmetrics -> print_string (Openmetrics.of_metrics m)
+    | `Json -> print_endline (Json.to_string (Metrics.to_json m))
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a seed campaign or corpus repro and expose the end-of-run \
+          metrics registry — counters, gauges, HDR histograms — as \
+          deterministic OpenMetrics text or canonical JSON.")
+    Term.(
+      const run $ seed_arg $ nodes_arg $ evs_arg $ replay_arg $ interval_arg
+      $ format)
+
+(* ---------- bench diff ---------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_bench path =
+  match read_file path with
+  | exception Sys_error msg ->
+      Printf.eprintf "cannot read %s: %s\n" path msg;
+      exit 2
+  | text -> (
+      match Json.of_string text with
+      | Ok doc -> doc
+      | Error msg ->
+          Printf.eprintf "cannot parse %s: %s\n" path msg;
+          exit 2)
+
+let bench_diff_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD.json" ~doc:"Baseline BENCH_*.json artifact.")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW.json" ~doc:"Candidate BENCH_*.json artifact.")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt float Bench_diff.default_threshold
+      & info [ "threshold" ] ~docv:"FRACTION"
+          ~doc:
+            "Relative tolerance for measured keys (wall-clock keys get 2.5x \
+             this); exact keys ignore it.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Show unchanged keys too, not only diffs.")
+  in
+  let run old_path new_path threshold all =
+    let old_doc = load_bench old_path and new_doc = load_bench new_path in
+    let rows = Bench_diff.diff ~threshold ~old_doc ~new_doc () in
+    Vs_stats.Table.print (Bench_diff.to_table ~all rows);
+    print_endline (Bench_diff.summary rows);
+    exit (Bench_diff.exit_code rows)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two BENCH_*.json artifacts key by key with per-key-class \
+          thresholds; exits non-zero on any regression (the CI gate).")
+    Term.(const run $ old_arg $ new_arg $ threshold $ all)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:"Operations on the machine-readable bench artifacts.")
+    [ bench_diff_cmd ]
+
 (* ---------- lint ---------- *)
 
 let lint_cmd =
@@ -785,5 +954,6 @@ let () =
        (Cmd.group info
           [
             experiment_cmd; campaign_cmd; check_cmd; explain_cmd; query_cmd;
-            trace_cmd; lint_cmd; throughput_cmd;
+            trace_cmd; top_cmd; metrics_cmd; bench_cmd; lint_cmd;
+            throughput_cmd;
           ]))

@@ -36,8 +36,11 @@ module Go = Vs_apps.Group_object
 module Rng = Vs_util.Rng
 module Summary = Vs_stats.Summary
 module Table = Vs_stats.Table
+module Hdr = Vs_obs.Hdr
 module Recorder = Vs_obs.Recorder
 module Metrics = Vs_obs.Metrics
+module Series = Vs_obs.Series
+module Stall = Vs_obs.Stall
 module Cluster = Vs_harness.Vsync_cluster
 module Oracle = Vs_harness.Oracle
 module Faults = Vs_harness.Faults
@@ -131,6 +134,20 @@ let arms =
     };
   ]
 
+(* Per-window slice of the measured load window, from the vsmon series
+   attached to the arm's simulation: how the throughput and the paper's
+   install cost evolve through the window rather than one end-of-run
+   number. *)
+type window_stat = {
+  ws_index : int;  (* series window index: [kΔ, (k+1)Δ) *)
+  ws_start : float;
+  ws_end : float;
+  ws_applied : int;  (* puts applied at the observer in this window *)
+  ws_ops_per_s : float;  (* ws_applied / Δ, simulated-time rate *)
+  ws_installs : int;  (* view installs in this window *)
+  ws_install_p99 : float option;  (* exact p99 install latency, seconds *)
+}
+
 type result = {
   r_name : string;
   r_offered : int;
@@ -140,10 +157,11 @@ type result = {
   r_wall_s : float option;
   r_ops_per_wall_s : float option;
   r_put_lat : Summary.t;  (* sampled end-to-end put latency, sim seconds *)
-  r_install : Summary.t option;
-  r_flush : Summary.t option;
+  r_install : Hdr.t option;
+  r_flush : Hdr.t option;
   r_wire_sent : int;
   r_wire_per_op : float;
+  r_windows : window_stat list;  (* measured window sliced by the series *)
 }
 
 (* One arm: same seed, same workload drawing order — only the endpoint
@@ -151,9 +169,15 @@ type result = {
    identical across arms.  [clock], when given, must read wall-clock
    seconds; it is injected by the caller (bench, CLI) so this library stays
    free of wall-clock reads. *)
+(* Series windows per measured load window — Δ = w_window / 4, so the
+   report shows how the rate and install cost move through the window. *)
+let windows_per_measured = 4
+
 let run_arm ?clock ~seed ~workload:w arm =
   let recorder = Recorder.create ~level:Recorder.Protocol () in
-  let sim = Sim.create ~seed ~obs:recorder () in
+  let interval = w.w_window /. float_of_int windows_per_measured in
+  let series = Series.create ~interval () in
+  let sim = Sim.create ~seed ~obs:recorder ~series () in
   let net = Kv.make_net sim Net.default_config in
   let universe = List.init w.w_n (fun i -> i) in
   let applied = ref 0 in
@@ -161,9 +185,17 @@ let run_arm ?clock ~seed ~workload:w arm =
   let window_end = ref infinity in
   let submit_times : (int, float) Hashtbl.t = Hashtbl.create 4096 in
   let put_lat = Summary.create () in
+  (* applied-op tally per series window index, measured window only *)
+  let applied_wins : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
   let observe_apply ~origin:_ ~key:_ ~value =
     let now = Sim.now sim in
-    if now >= !window_start && now < !window_end then incr applied;
+    if now >= !window_start && now < !window_end then begin
+      incr applied;
+      let idx = int_of_float (floor (now /. interval)) in
+      match Hashtbl.find_opt applied_wins idx with
+      | Some r -> incr r
+      | None -> Hashtbl.replace applied_wins idx (ref 1)
+    end;
     match int_of_string_opt value with
     | Some op -> (
         match Hashtbl.find_opt submit_times op with
@@ -217,7 +249,63 @@ let run_arm ?clock ~seed ~workload:w arm =
     | _ -> None
   in
   let wire_sent = (Net.stats net).Net.sent - wire_before in
-  let metrics = Metrics.of_entries (Recorder.entries recorder) in
+  Sim.finish_series sim;
+  let entries = Recorder.entries recorder in
+  let metrics = Metrics.of_entries entries in
+  (* Slice the measured window: applied rate from the per-window tally,
+     install activity from the series snapshots, and the exact p99 install
+     latency from the stall attributions falling in each window. *)
+  let attrs = Stall.of_entries entries in
+  let windows =
+    let in_measured (s : Series.snapshot) =
+      s.Series.t_start >= !window_start -. (interval /. 2.)
+      && s.Series.t_start < !window_end
+    in
+    let rec build prev = function
+      | [] -> []
+      | (s : Series.snapshot) :: rest ->
+          let tail = build (Some s) rest in
+          if not (in_measured s) then tail
+          else begin
+            let applied =
+              match Hashtbl.find_opt applied_wins s.Series.window with
+              | Some r -> !r
+              | None -> 0
+            in
+            let installs =
+              Series.delta_counter ~prev s "gms.installs"
+            in
+            let p99 =
+              let lats =
+                List.filter_map
+                  (fun a ->
+                    let t = a.Stall.a_time in
+                    if t >= s.Series.t_start && t < s.Series.t_end then
+                      Some (Stall.total a)
+                    else None)
+                  attrs
+              in
+              if lats = [] then None
+              else begin
+                let su = Summary.create () in
+                List.iter (Summary.add su) lats;
+                Some (Summary.percentile su 0.99)
+              end
+            in
+            {
+              ws_index = s.Series.window;
+              ws_start = s.Series.t_start;
+              ws_end = s.Series.t_end;
+              ws_applied = applied;
+              ws_ops_per_s = float_of_int applied /. interval;
+              ws_installs = installs;
+              ws_install_p99 = p99;
+            }
+            :: tail
+          end
+    in
+    build None (Series.snapshots series)
+  in
   {
     r_name = arm.a_name;
     r_offered = load.App_fleet.offered;
@@ -238,6 +326,7 @@ let run_arm ?clock ~seed ~workload:w arm =
       (if load.App_fleet.accepted > 0 then
          float_of_int wire_sent /. float_of_int load.App_fleet.accepted
        else 0.);
+    r_windows = windows;
   }
 
 let run_arms ?clock ?(quick = false) ?(seed = 1106L) () =
@@ -263,7 +352,7 @@ let opt_ms = function
 
 let hist_pct h p =
   match h with
-  | Some s when Summary.count s > 0 -> Some (Summary.percentile s p)
+  | Some s when Hdr.count s > 0 -> Some (Hdr.percentile s p)
   | Some _ | None -> None
 
 let sum_pct s p = if Summary.count s > 0 then Some (Summary.percentile s p) else None
@@ -489,6 +578,44 @@ let throughput_table ?(with_wall = true) results =
     results;
   table
 
+(* Per-window evolution of the measured load window: the vsmon view of the
+   same run — how the applied rate and the install cost move through the
+   window instead of one end-of-run aggregate. *)
+let window_table results =
+  let table =
+    Table.create
+      ~title:
+        "T/windows — measured load window sliced by the vsmon series: \
+         applied ops/s and install p99 per window"
+      ~columns:
+        [
+          "arm";
+          "window";
+          "span (s)";
+          "applied";
+          "ops/s (sim)";
+          "installs";
+          "install p99 (ms)";
+        ]
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun ws ->
+          Table.add_row table
+            [
+              r.r_name;
+              Table.fint ws.ws_index;
+              Printf.sprintf "%g-%g" ws.ws_start ws.ws_end;
+              Table.fint ws.ws_applied;
+              Printf.sprintf "%.0f" ws.ws_ops_per_s;
+              Table.fint ws.ws_installs;
+              opt_ms ws.ws_install_p99;
+            ])
+        r.r_windows)
+    results;
+  table
+
 (* ---------- claim C1 at scale ---------- *)
 
 (* E4 merges partitions of up to 16 members under the default (LAN-interactive)
@@ -589,6 +716,7 @@ let tables ?(quick = false) () =
   let merge = [ merge_at_scale ~k:(if quick then 25 else 50) ] in
   [
     throughput_table ~with_wall:false results;
+    window_table results;
     data_plane_table ~with_wall:false dp;
     merge_table merge;
   ]

@@ -1,0 +1,197 @@
+(* Fixed-memory log-bucketed histogram — the continuous-telemetry
+   replacement for the grow-forever sample lists of [Vs_stats.Summary].
+
+   Values land in geometric buckets: bucket k covers
+   (lowest·g^k, lowest·g^(k+1)] with growth factor g = 1 + error, plus a
+   dedicated bucket for exact zero / negatives, an underflow bucket
+   (0, lowest], and an overflow bucket above [highest].  Every quantile
+   reported is the upper bound of the bucket holding the exact quantile's
+   sample, so for in-range values
+
+       exact <= reported < exact * (1 + error)
+
+   — the bucket-error contract the test-suite pins against the exact
+   [Vs_stats.Summary] on random vectors.
+
+   Memory is fixed at creation (one int array, one float array; ~2.8k
+   buckets at the defaults) and the record path allocates nothing: no float
+   arithmetic, no float constants, no closures — only comparisons against
+   precomputed boundaries and integer increments.  vslint rule A1 proves
+   this statically (the alloc-free annotations below), rule B1 ties the
+   [zero_alloc_contract] list to those annotations, and the bench asserts
+   the runtime half with word-exact Gc counters. *)
+
+type t = {
+  bounds : float array;
+      (* bounds.(k) = upper bound of log bucket k; strictly increasing *)
+  counts : int array;
+      (* length = Array.length bounds + 3:
+         0               exact zero and negatives (representative 0)
+         1               underflow: 0 < v <= lowest (representative lowest)
+         2 + k           log bucket k (representative bounds.(k))
+         length - 1      overflow: v > bounds.(last) *)
+  mutable n : int;
+  lowest : float;  (* smallest value resolved to its own bucket *)
+  top : float;  (* bounds.(last), cached for the record fast path *)
+  over_rep : float;  (* representative of the overflow bucket *)
+  zero : float;  (* 0.0, stored so [record] needs no float literal *)
+  err : float;  (* growth - 1 *)
+  over : int;  (* index of the overflow bucket, cached *)
+}
+
+let default_lowest = 1e-6
+
+let default_highest = 1e6
+
+let default_error = 0.01
+
+let create ?(lowest = default_lowest) ?(highest = default_highest)
+    ?(error = default_error) () =
+  if not (lowest > 0.) then invalid_arg "Hdr.create: lowest must be > 0";
+  if not (highest > lowest) then
+    invalid_arg "Hdr.create: highest must exceed lowest";
+  if not (error > 0. && error < 1.) then
+    invalid_arg "Hdr.create: error must be in (0, 1)";
+  let growth = 1. +. error in
+  let m =
+    let needed = log (highest /. lowest) /. log growth in
+    max 1 (int_of_float (ceil needed))
+  in
+  let bounds = Array.init m (fun k -> lowest *. (growth ** float_of_int (k + 1))) in
+  {
+    bounds;
+    counts = Array.make (m + 3) 0;
+    n = 0;
+    lowest;
+    top = bounds.(m - 1);
+    over_rep = bounds.(m - 1) *. growth;
+    zero = 0.;
+    err = error;
+    over = m + 2;
+  }
+
+(* Smallest k in [lo, hi] with v <= bounds.(k).  The caller guarantees
+   lowest < v <= bounds.(hi), so the invariant "answer in [lo, hi]" holds
+   throughout.  Recursion instead of a [ref] loop keeps the body free of
+   allocating constructs. *)
+(* vslint: alloc-free *)
+let rec bucket_index (bounds : float array) (v : float) lo hi =
+  if lo >= hi then lo
+  else begin
+    let mid = (lo + hi) / 2 in
+    if v <= bounds.(mid) then bucket_index bounds v lo mid
+    else bucket_index bounds v (mid + 1) hi
+  end
+
+(* vslint: alloc-free *)
+let record t v =
+  t.n <- t.n + 1;
+  if v <= t.zero then t.counts.(0) <- t.counts.(0) + 1
+  else if v <= t.lowest then t.counts.(1) <- t.counts.(1) + 1
+  else if v > t.top then t.counts.(t.over) <- t.counts.(t.over) + 1
+  else begin
+    let k = bucket_index t.bounds v 0 (t.over - 3) in
+    t.counts.(2 + k) <- t.counts.(2 + k) + 1
+  end
+
+(* The static half of the no-allocation guarantee, in the same
+   "path:function" shape as [Net.zero_alloc_contract]: rule A1 proves each
+   body allocation-free, rule B1 pins this list to the annotated set, and
+   the bench exports it next to its runtime word counts. *)
+let zero_alloc_contract =
+  [ "lib/obs/hdr.ml:bucket_index"; "lib/obs/hdr.ml:record" ]
+
+let count t = t.n
+
+let error t = t.err
+
+let bucket_count t = Array.length t.counts
+
+(* Representative value of occupied slot [i]: the value every sample in the
+   bucket is rounded up to. *)
+let rep t i =
+  if i = 0 then 0.
+  else if i = 1 then t.lowest
+  else if i = t.over then t.over_rep
+  else t.bounds.(i - 2)
+
+(* Lower edge of slot [i] — used for [min_value], where rounding down is the
+   conservative direction. *)
+let low_edge t i =
+  if i = 0 then 0.
+  else if i = 1 then 0.
+  else if i = 2 then t.lowest
+  else if i = t.over then t.top
+  else t.bounds.(i - 3)
+
+let percentile t p =
+  if t.n = 0 then 0.
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p *. float_of_int t.n)) in
+      if r < 1 then 1 else if r > t.n then t.n else r
+    in
+    let slots = Array.length t.counts in
+    let rec find i acc =
+      if i >= slots then rep t (slots - 1)
+      else begin
+        let acc = acc + t.counts.(i) in
+        if acc >= rank then rep t i else find (i + 1) acc
+      end
+    in
+    find 0 0
+  end
+
+let max_value t =
+  if t.n = 0 then neg_infinity
+  else begin
+    let rec find i = if i < 0 then 0. else if t.counts.(i) > 0 then rep t i else find (i - 1) in
+    find (Array.length t.counts - 1)
+  end
+
+let min_value t =
+  if t.n = 0 then infinity
+  else begin
+    let slots = Array.length t.counts in
+    let rec find i =
+      if i >= slots then 0. else if t.counts.(i) > 0 then low_edge t i else find (i + 1)
+    in
+    find 0
+  end
+
+let approx_sum t =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i c -> if c > 0 then acc := !acc +. (float_of_int c *. rep t i))
+    t.counts;
+  !acc
+
+let mean t = if t.n = 0 then 0. else approx_sum t /. float_of_int t.n
+
+(* Occupied buckets as (upper bound, count), in value order — the compact
+   representation the series snapshots and the OpenMetrics exposition
+   consume.  Empty buckets are skipped, so the list length tracks the
+   distinct magnitudes observed, not the configured resolution. *)
+let buckets t =
+  let acc = ref [] in
+  for i = Array.length t.counts - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (rep t i, t.counts.(i)) :: !acc
+  done;
+  !acc
+
+(* Cumulative variant: (upper bound, running count); the running count of
+   the last element equals [count t]. *)
+let cumulative t =
+  let acc = ref [] and running = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        running := !running + c;
+        acc := (rep t i, !running) :: !acc
+      end)
+    t.counts;
+  List.rev !acc
+
+let clear t =
+  t.n <- 0;
+  Array.fill t.counts 0 (Array.length t.counts) 0

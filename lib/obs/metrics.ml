@@ -1,12 +1,17 @@
 (* Metrics registry plus the derivation pass that folds a recorded event
    stream into counters / gauges / simulated-time histograms.  All
    enumeration is sorted so two identically-seeded runs render byte-identical
-   summaries. *)
+   summaries.
+
+   Histograms are fixed-memory [Hdr] instances (1% log buckets), so a
+   registry's footprint is bounded no matter how long the run: the vsmon
+   series layer scrapes a live registry on every window without the cost
+   growing with the number of recorded samples. *)
 
 type t = {
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;
-  hists : (string, Vs_stats.Summary.t) Hashtbl.t;
+  hists : (string, Hdr.t) Hashtbl.t;
 }
 
 let create () =
@@ -28,11 +33,11 @@ let set_gauge t name v =
 
 let observe t name v =
   match Hashtbl.find_opt t.hists name with
-  | Some s -> Vs_stats.Summary.add s v
+  | Some h -> Hdr.record h v
   | None ->
-      let s = Vs_stats.Summary.create () in
-      Vs_stats.Summary.add s v;
-      Hashtbl.replace t.hists name s
+      let h = Hdr.create () in
+      Hdr.record h v;
+      Hashtbl.replace t.hists name h
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
@@ -56,84 +61,102 @@ let hists t = Vs_util.Hashtblx.sorted_bindings ~cmp:String.compare t.hists
 
 (* --- derivation from an event stream ------------------------------------- *)
 
-let of_entries (entries : Recorder.entry list) =
-  let m = create () in
+(* Incremental derivation state.  [step] consumes one timestamped event and
+   updates the registry in place, so the same fold serves both the
+   end-of-run [of_entries] pass and the vsmon series sink, which feeds
+   events as the simulation emits them. *)
+type deriv = {
+  metrics : t;
   (* current app mode per node, for the messages-per-mode split *)
-  let node_mode : (int, string) Hashtbl.t = Hashtbl.create 8 in
-  let mode_of (p : Event.proc) =
-    match Hashtbl.find_opt node_mode p.node with Some s -> s | None -> "N"
-  in
+  node_mode : (int, string) Hashtbl.t;
   (* first propose time per view id, for install latency *)
-  let proposed : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  proposed : (string, float) Hashtbl.t;
   (* first flush-ack per (proc, view id), for flush stall *)
-  let flushed : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  flushed : (string, float) Hashtbl.t;
   (* open tasks per (proc, task kind) *)
-  let tasks : (string, float) Hashtbl.t = Hashtbl.create 8 in
-  List.iter
-    (fun (e : Recorder.entry) ->
-      let time = e.time in
-      set_gauge m "run.last-event-time" time;
-      match e.event with
-      | Event.Send { src; _ } ->
-          incr m "net.sends";
-          incr m ("net.sends.mode." ^ mode_of src)
-      | Event.Recv _ -> incr m "net.recvs"
-      | Event.Drop { reason; _ } ->
-          incr m "net.drops";
-          incr m ("net.drops." ^ reason)
-      | Event.Dup _ -> incr m "net.dups"
-      | Event.Retransmit { count; peer; _ } ->
-          incr ~by:count m "vsync.retransmits";
-          if peer then incr ~by:count m "vsync.retransmits.peer"
-      | Event.Backoff _ -> incr m "vsync.backoffs"
-      | Event.Suspect _ -> incr m "fd.suspects"
-      | Event.Unsuspect _ -> incr m "fd.unsuspects"
-      | Event.Propose { vid; _ } ->
-          incr m "gms.proposes";
-          let key = Event.vid_to_string vid in
-          if not (Hashtbl.mem proposed key) then Hashtbl.replace proposed key time
-      | Event.Flush { proc; vid; _ } ->
-          incr m "gms.flushes";
-          let key =
-            Event.proc_to_string proc ^ "|" ^ Event.vid_to_string vid
-          in
-          if not (Hashtbl.mem flushed key) then Hashtbl.replace flushed key time
-      | Event.Install { proc; vid; sync; _ } ->
-          incr m "gms.installs";
-          observe m "view.sync-deliveries" (float_of_int sync);
-          let vkey = Event.vid_to_string vid in
-          (match Hashtbl.find_opt proposed vkey with
-          | Some t0 -> observe m "view.install-latency" (time -. t0)
-          | None -> ());
-          let fkey = Event.proc_to_string proc ^ "|" ^ vkey in
-          (match Hashtbl.find_opt flushed fkey with
-          | Some t0 ->
-              Hashtbl.remove flushed fkey;
-              observe m "view.flush-stall" (time -. t0)
-          | None -> ())
-      | Event.Eview _ -> incr m "evs.eviews"
-      | Event.Mode_change { proc; into_mode; cause; _ } ->
-          incr m ("mode.transitions." ^ cause);
-          Hashtbl.replace node_mode proc.node into_mode
-      | Event.Settle _ -> incr m "app.settles"
-      | Event.Task_start { proc; task; _ } ->
-          let key = Event.proc_to_string proc ^ "|" ^ task in
-          if not (Hashtbl.mem tasks key) then Hashtbl.replace tasks key time
-      | Event.Task_done { proc; task; _ } ->
-          let key = Event.proc_to_string proc ^ "|" ^ task in
-          (match Hashtbl.find_opt tasks key with
-          | Some t0 ->
-              Hashtbl.remove tasks key;
-              observe m ("task." ^ task) (time -. t0)
-          | None -> ())
-      | Event.Crash _ -> incr m "faults.crashes"
-      | Event.Partition _ -> incr m "faults.partitions"
-      | Event.Heal -> incr m "faults.heals"
-      | Event.Corrupt _ -> incr m "faults.corruptions"
-      | Event.Quarantine _ -> ()
-      | Event.Note _ -> ())
-    entries;
-  m
+  tasks : (string, float) Hashtbl.t;
+}
+
+let deriv_create () =
+  {
+    metrics = create ();
+    node_mode = Hashtbl.create 8;
+    proposed = Hashtbl.create 16;
+    flushed = Hashtbl.create 32;
+    tasks = Hashtbl.create 8;
+  }
+
+let deriv_metrics d = d.metrics
+
+let step d ~time (event : Event.t) =
+  let m = d.metrics in
+  let mode_of (p : Event.proc) =
+    match Hashtbl.find_opt d.node_mode p.node with Some s -> s | None -> "N"
+  in
+  set_gauge m "run.last-event-time" time;
+  match event with
+  | Event.Send { src; _ } ->
+      incr m "net.sends";
+      incr m ("net.sends.mode." ^ mode_of src)
+  | Event.Recv _ -> incr m "net.recvs"
+  | Event.Drop { reason; _ } ->
+      incr m "net.drops";
+      incr m ("net.drops." ^ reason)
+  | Event.Dup _ -> incr m "net.dups"
+  | Event.Retransmit { count; peer; _ } ->
+      incr ~by:count m "vsync.retransmits";
+      if peer then incr ~by:count m "vsync.retransmits.peer"
+  | Event.Backoff _ -> incr m "vsync.backoffs"
+  | Event.Suspect _ -> incr m "fd.suspects"
+  | Event.Unsuspect _ -> incr m "fd.unsuspects"
+  | Event.Propose { vid; _ } ->
+      incr m "gms.proposes";
+      let key = Event.vid_to_string vid in
+      if not (Hashtbl.mem d.proposed key) then
+        Hashtbl.replace d.proposed key time
+  | Event.Flush { proc; vid; _ } ->
+      incr m "gms.flushes";
+      let key = Event.proc_to_string proc ^ "|" ^ Event.vid_to_string vid in
+      if not (Hashtbl.mem d.flushed key) then Hashtbl.replace d.flushed key time
+  | Event.Install { proc; vid; sync; _ } ->
+      incr m "gms.installs";
+      observe m "view.sync-deliveries" (float_of_int sync);
+      let vkey = Event.vid_to_string vid in
+      (match Hashtbl.find_opt d.proposed vkey with
+      | Some t0 -> observe m "view.install-latency" (time -. t0)
+      | None -> ());
+      let fkey = Event.proc_to_string proc ^ "|" ^ vkey in
+      (match Hashtbl.find_opt d.flushed fkey with
+      | Some t0 ->
+          Hashtbl.remove d.flushed fkey;
+          observe m "view.flush-stall" (time -. t0)
+      | None -> ())
+  | Event.Eview _ -> incr m "evs.eviews"
+  | Event.Mode_change { proc; into_mode; cause; _ } ->
+      incr m ("mode.transitions." ^ cause);
+      Hashtbl.replace d.node_mode proc.node into_mode
+  | Event.Settle _ -> incr m "app.settles"
+  | Event.Task_start { proc; task; _ } ->
+      let key = Event.proc_to_string proc ^ "|" ^ task in
+      if not (Hashtbl.mem d.tasks key) then Hashtbl.replace d.tasks key time
+  | Event.Task_done { proc; task; _ } ->
+      let key = Event.proc_to_string proc ^ "|" ^ task in
+      (match Hashtbl.find_opt d.tasks key with
+      | Some t0 ->
+          Hashtbl.remove d.tasks key;
+          observe m ("task." ^ task) (time -. t0)
+      | None -> ())
+  | Event.Crash _ -> incr m "faults.crashes"
+  | Event.Partition _ -> incr m "faults.partitions"
+  | Event.Heal -> incr m "faults.heals"
+  | Event.Corrupt _ -> incr m "faults.corruptions"
+  | Event.Quarantine _ -> ()
+  | Event.Note _ -> ()
+
+let of_entries (entries : Recorder.entry list) =
+  let d = deriv_create () in
+  List.iter (fun (e : Recorder.entry) -> step d ~time:e.time e.event) entries;
+  d.metrics
 
 (* --- rendering ----------------------------------------------------------- *)
 
@@ -166,18 +189,18 @@ let to_tables t =
   if hs <> [] then begin
     let tbl =
       Vs_stats.Table.create ~title:"metrics: histograms (simulated time)"
-        ~columns:[ "metric"; "n"; "p50"; "p95"; "max" ]
+        ~columns:[ "metric"; "n"; "p50"; "p95"; "p99"; "max" ]
     in
     List.iter
-      (fun (k, s) ->
+      (fun (k, h) ->
         Vs_stats.Table.add_row tbl
           [
             k;
-            Vs_stats.Table.fint (Vs_stats.Summary.count s);
-            Vs_stats.Table.ffloat ~decimals:4 (Vs_stats.Summary.percentile s 0.5);
-            Vs_stats.Table.ffloat ~decimals:4
-              (Vs_stats.Summary.percentile s 0.95);
-            Vs_stats.Table.ffloat ~decimals:4 (Vs_stats.Summary.max_value s);
+            Vs_stats.Table.fint (Hdr.count h);
+            Vs_stats.Table.ffloat ~decimals:4 (Hdr.percentile h 0.5);
+            Vs_stats.Table.ffloat ~decimals:4 (Hdr.percentile h 0.95);
+            Vs_stats.Table.ffloat ~decimals:4 (Hdr.percentile h 0.99);
+            Vs_stats.Table.ffloat ~decimals:4 (Hdr.max_value h);
           ])
       hs;
     acc := tbl :: !acc
@@ -186,3 +209,25 @@ let to_tables t =
 
 let to_text t =
   String.concat "\n" (List.map Vs_stats.Table.to_string (to_tables t))
+
+let to_json t =
+  let hist_json h =
+    Json.Obj
+      [
+        ("n", Json.Int (Hdr.count h));
+        ("p50", Json.Float (Hdr.percentile h 0.5));
+        ("p95", Json.Float (Hdr.percentile h 0.95));
+        ("p99", Json.Float (Hdr.percentile h 0.99));
+        ("max", Json.Float (Hdr.max_value h));
+        ("mean", Json.Float (Hdr.mean h));
+      ]
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)) );
+      ( "gauges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (gauges t)) );
+      ( "histograms",
+        Json.Obj (List.map (fun (k, h) -> (k, hist_json h)) (hists t)) );
+    ]

@@ -4,8 +4,12 @@
     paper's analysis calls for: per-view installation latency (first propose
     to each install), flush stall time (a member's flush-ack to its install),
     sync-barrier delivery counts, retransmit totals, and message counts split
-    by the sender's NORMAL/REDUCED/SETTLING mode.  All enumeration is sorted,
-    so identically-seeded runs render byte-identical summaries. *)
+    by the sender's NORMAL/REDUCED/SETTLING mode.  The same fold is exposed
+    incrementally ({!deriv_create} / {!step}) so the vsmon series layer can
+    keep a registry live as events are emitted.  Histograms are fixed-memory
+    {!Hdr} instances, so a registry's footprint is bounded for arbitrarily
+    long runs.  All enumeration is sorted, so identically-seeded runs render
+    byte-identical summaries. *)
 
 type t
 
@@ -24,19 +28,38 @@ val counter : t -> string -> int
 
 val gauge : t -> string -> float option
 
-val hist : t -> string -> Vs_stats.Summary.t option
+val hist : t -> string -> Hdr.t option
 
 val counters : t -> (string * int) list
 (** Sorted by name. *)
 
 val gauges : t -> (string * float) list
 
-val hists : t -> (string * Vs_stats.Summary.t) list
+val hists : t -> (string * Hdr.t) list
 
-(** {2 Derivation and rendering} *)
+(** {2 Derivation} *)
+
+type deriv
+(** Incremental derivation state: a registry plus the cross-event context
+    (per-node mode, open proposes/flushes/tasks) the fold needs. *)
+
+val deriv_create : unit -> deriv
+
+val deriv_metrics : deriv -> t
+(** The live registry the fold updates — safe to read at any point. *)
+
+val step : deriv -> time:float -> Event.t -> unit
+(** Fold one timestamped event into the registry. *)
 
 val of_entries : Recorder.entry list -> t
+(** [deriv_create] + [step] over a completed recording. *)
+
+(** {2 Rendering} *)
 
 val to_tables : t -> Vs_stats.Table.t list
 
 val to_text : t -> string
+
+val to_json : t -> Json.t
+(** Canonical JSON: sorted [counters] / [gauges] / [histograms] objects,
+    histograms summarized as [n]/[p50]/[p95]/[p99]/[max]/[mean]. *)

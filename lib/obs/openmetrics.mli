@@ -1,0 +1,22 @@
+(** Deterministic OpenMetrics / Prometheus text exposition of a
+    {!Metrics} registry.
+
+    Canonical like {!Json}: families sorted by metric name, fixed label
+    order ([le] only), floats in shortest round-trippable repr, LF line
+    endings, trailing [# EOF].  Identically-seeded runs expose
+    byte-identical text — pinned by the @openmetrics-schema guard. *)
+
+val of_metrics : ?prefix:string -> Metrics.t -> string
+(** Render the registry.  Counters become [<prefix><name>_total], gauges
+    [<prefix><name>], histograms a cumulative [_bucket{le="..."}] series
+    over the occupied HDR buckets plus [+Inf], [_sum], [_count].  Names
+    are sanitized to [[a-zA-Z0-9_:]]; [prefix] defaults to ["vs_"]. *)
+
+val sanitize : string -> string
+(** Replace every character outside [[a-zA-Z0-9_:]] with ['_']. *)
+
+val sample_value : float -> string
+(** OpenMetrics float spelling: shortest round-trippable repr, with
+    [+Inf] / [-Inf] / [NaN] for the non-finite values. *)
+
+val default_prefix : string

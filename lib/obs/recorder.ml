@@ -32,6 +32,11 @@ type t = {
   mutable count : int;
   mutable cache : entry list;
   mutable cache_count : int;
+  (* Optional live tap: called with every recorded event, after storage.
+     This is how the vsmon series layer observes a run without a second
+     emission path — [None] (the default) leaves [emit] byte-identical to a
+     sink-less recorder. *)
+  mutable sink : (time:float -> Event.t -> unit) option;
 }
 
 let default = ref Protocol
@@ -61,7 +66,10 @@ let create ?capacity ?level () =
     count = 0;
     cache = [];
     cache_count = -1;
+    sink = None;
   }
+
+let set_sink t sink = t.sink <- sink
 
 let level t = t.level
 
@@ -78,14 +86,15 @@ let emit t ~time event =
   match t.level with
   | Off -> ()
   | Protocol | Full -> (
-      match t.capacity with
+      (match t.capacity with
       | None ->
           t.rev_entries <- { time; event } :: t.rev_entries;
           t.count <- t.count + 1
       | Some n ->
           t.ring.(t.ring_pos) <- { time; event };
           t.ring_pos <- (t.ring_pos + 1) mod n;
-          t.count <- t.count + 1)
+          t.count <- t.count + 1);
+      match t.sink with None -> () | Some f -> f ~time event)
 
 let count t = t.count
 

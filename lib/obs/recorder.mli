@@ -43,7 +43,15 @@ val full_on : t -> bool
     runs pay zero allocations per send. *)
 
 val emit : t -> time:float -> Event.t -> unit
-(** No-op at [Off]. *)
+(** No-op at [Off].  When a {!set_sink} tap is installed, every recorded
+    event is also passed to it (after storage); [Off] emissions never reach
+    the sink. *)
+
+val set_sink : t -> (time:float -> Event.t -> unit) option -> unit
+(** Install (or clear) a live tap on the recorded stream.  [None] — the
+    default — leaves {!emit} byte-identical to a sink-less recorder; this is
+    how [Sim.create ?series] wires the vsmon series layer in without a
+    second emission path. *)
 
 val count : t -> int
 (** Total events ever emitted — including any a bounded recorder has since

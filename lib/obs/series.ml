@@ -1,0 +1,230 @@
+(* Windowed time series over a recorded run — the continuous half of the
+   telemetry plane.
+
+   A series folds every observed event into a live [Metrics.deriv] registry
+   and, each time an event's timestamp crosses a window boundary, scrapes
+   the registry into an immutable snapshot.  Windows are half-open spans of
+   simulated time [kΔ, (k+1)Δ); snapshots are cumulative-at-close, so
+   per-window deltas fall out by subtracting consecutive snapshots
+   ({!delta_counter}).
+
+   Window closing is driven lazily by observed event times rather than by a
+   recurring simulator timer: a timer would perturb the event schedule
+   (quiescence-based runs would never go idle) and make scrape-on runs
+   diverge from scrape-off runs.  With lazy closing the simulation schedule
+   is untouched — attaching a series changes no event, no RNG draw, no
+   timestamp — and the snapshot sequence is a pure function of the recorded
+   stream, hence byte-deterministic across identically-seeded runs.  The
+   cost is that a window only closes when a later event (or {!finish})
+   proves the stream has moved past it, which is the right semantics for a
+   discrete-event world: nothing happened in between.
+
+   Snapshots live in a fixed ring (default 1024): long runs keep the newest
+   windows, and [count] exceeding [capacity] signals truncation — the same
+   contract as [Recorder]. *)
+
+type hist_scrape = {
+  h_n : int;
+  h_p50 : float;
+  h_p95 : float;
+  h_p99 : float;
+  h_max : float;
+  h_mean : float;
+}
+
+type snapshot = {
+  window : int;  (* index k: the span [kΔ, (k+1)Δ) *)
+  t_start : float;
+  t_end : float;
+  counters : (string * int) list;  (* cumulative at window close, sorted *)
+  gauges : (string * float) list;
+  hists : (string * hist_scrape) list;
+}
+
+type t = {
+  interval : float;
+  deriv : Metrics.deriv;
+  ring : snapshot option array;
+  mutable ring_pos : int;  (* next write index *)
+  mutable count : int;  (* snapshots ever taken *)
+  mutable window : int;  (* index of the window currently accumulating *)
+  mutable events : int;  (* events observed, for the idle fast path *)
+  mutable finished : bool;
+}
+
+let default_interval = 0.5
+
+let default_capacity = 1024
+
+let create ?(capacity = default_capacity) ?(interval = default_interval) () =
+  if not (interval > 0.) then
+    invalid_arg "Series.create: interval must be > 0";
+  if capacity <= 0 then invalid_arg "Series.create: capacity must be > 0";
+  {
+    interval;
+    deriv = Metrics.deriv_create ();
+    ring = Array.make capacity None;
+    ring_pos = 0;
+    count = 0;
+    window = 0;
+    events = 0;
+    finished = false;
+  }
+
+let interval t = t.interval
+
+let capacity t = Array.length t.ring
+
+let count t = t.count
+
+let metrics t = Metrics.deriv_metrics t.deriv
+
+let events_observed t = t.events
+
+let scrape_hist h =
+  {
+    h_n = Hdr.count h;
+    h_p50 = Hdr.percentile h 0.5;
+    h_p95 = Hdr.percentile h 0.95;
+    h_p99 = Hdr.percentile h 0.99;
+    h_max = Hdr.max_value h;
+    h_mean = Hdr.mean h;
+  }
+
+let scrape t ~window =
+  let m = metrics t in
+  {
+    window;
+    t_start = float_of_int window *. t.interval;
+    t_end = float_of_int (window + 1) *. t.interval;
+    counters = Metrics.counters m;
+    gauges = Metrics.gauges m;
+    hists = List.map (fun (k, h) -> (k, scrape_hist h)) (Metrics.hists m);
+  }
+
+let push t snap =
+  t.ring.(t.ring_pos) <- Some snap;
+  t.ring_pos <- (t.ring_pos + 1) mod Array.length t.ring;
+  t.count <- t.count + 1
+
+let window_of t time = int_of_float (floor (time /. t.interval))
+
+(* Close every window strictly before [upto]: each closes with the registry
+   exactly as the events before its end boundary left it (events arrive in
+   non-decreasing time order). *)
+let close_until t ~upto =
+  while t.window < upto do
+    push t (scrape t ~window:t.window);
+    t.window <- t.window + 1
+  done
+
+let observe t ~time event =
+  if not t.finished then begin
+    let w = window_of t time in
+    if w > t.window then close_until t ~upto:w;
+    t.events <- t.events + 1;
+    Metrics.step t.deriv ~time event
+  end
+
+let finish t ~now =
+  if not t.finished then begin
+    t.finished <- true;
+    (* Close through the window containing [now], so the final partial
+       window's activity is captured at its full logical boundary. *)
+    if t.events > 0 || now > 0. then close_until t ~upto:(window_of t now + 1)
+  end
+
+let snapshots t =
+  let cap = Array.length t.ring in
+  let stored = min t.count cap in
+  let start = ((t.ring_pos - stored) mod cap + cap) mod cap in
+  List.filter_map
+    (fun i -> t.ring.((start + i) mod cap))
+    (List.init stored (fun i -> i))
+
+(* Per-window delta of a cumulative counter: this window's close minus the
+   previous window's ([prev = None] means the first retained window, where
+   the cumulative value is the delta). *)
+let delta_counter ~prev snap name =
+  let get s =
+    match List.assoc_opt name s.counters with Some v -> v | None -> 0
+  in
+  get snap - match prev with Some p -> get p | None -> 0
+
+let hist_of snap name = List.assoc_opt name snap.hists
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let snapshot_to_json (s : snapshot) =
+  let hist_json h =
+    Json.Obj
+      [
+        ("n", Json.Int h.h_n);
+        ("p50", Json.Float h.h_p50);
+        ("p95", Json.Float h.h_p95);
+        ("p99", Json.Float h.h_p99);
+        ("max", Json.Float h.h_max);
+        ("mean", Json.Float h.h_mean);
+      ]
+  in
+  Json.Obj
+    [
+      ("window", Json.Int s.window);
+      ("t_start", Json.Float s.t_start);
+      ("t_end", Json.Float s.t_end);
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.counters) );
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) s.gauges));
+      ( "histograms",
+        Json.Obj (List.map (fun (k, h) -> (k, hist_json h)) s.hists) );
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("interval", Json.Float t.interval);
+      ("windows", Json.Int t.count);
+      ("truncated", Json.Bool (t.count > Array.length t.ring));
+      ("snapshots", Json.Arr (List.map snapshot_to_json (snapshots t)));
+    ]
+
+(* The default per-window table: protocol activity deltas plus the paper's
+   cost-model percentiles, one row per retained window.  [counters] picks
+   the delta columns. *)
+let default_columns =
+  [ "net.sends"; "gms.proposes"; "gms.installs"; "vsync.retransmits" ]
+
+let to_table ?(counters = default_columns) t =
+  let table =
+    Vs_stats.Table.create
+      ~title:
+        (Printf.sprintf "series: per-window telemetry (interval %g s)"
+           t.interval)
+      ~columns:
+        ([ "window"; "span (s)" ]
+        @ List.map (fun c -> "Δ " ^ c) counters
+        @ [ "install p99"; "stall p99" ])
+  in
+  let pct name s =
+    match hist_of s name with
+    | Some h when h.h_n > 0 -> Vs_stats.Table.ffloat ~decimals:4 h.h_p99
+    | Some _ | None -> "-"
+  in
+  let rec rows prev = function
+    | [] -> ()
+    | (s : snapshot) :: rest ->
+        Vs_stats.Table.add_row table
+          ([
+             Vs_stats.Table.fint s.window;
+             Printf.sprintf "%g-%g" s.t_start s.t_end;
+           ]
+          @ List.map
+              (fun c -> Vs_stats.Table.fint (delta_counter ~prev s c))
+              counters
+          @ [ pct "view.install-latency" s; pct "view.flush-stall" s ]);
+        rows (Some s) rest
+  in
+  rows None (snapshots t);
+  table
+
+let to_text t = Vs_stats.Table.to_string (to_table t)

@@ -1,0 +1,51 @@
+(** Flush-stall attribution: split each view installation's latency into
+    the paper's three cost-model waits, reconstructed from recorded
+    Propose / Flush / Install events alone.
+
+    For an install of view [v] at member [p]:
+
+    - {b propose-wait} — first [Propose] of [v] to [p]'s own [Flush]: the
+      member draining and flushing its unstable messages;
+    - {b flush-ack-wait} — [p]'s [Flush] to the last [Flush] of [v] before
+      the install: waiting on the slowest peer to reach the sync barrier;
+    - {b stability-wait} — last [Flush] to [p]'s [Install]: the stability
+      decision and install delivery.
+
+    The three segments sum to the install latency that
+    [Metrics] records as [view.install-latency]. *)
+
+type attr = {
+  a_proc : Event.proc;
+  a_vid : Event.vid;
+  a_time : float;  (** install time *)
+  a_propose_wait : float;
+  a_flush_wait : float;
+  a_stability_wait : float;
+}
+
+val total : attr -> float
+(** Sum of the three segments = the install's latency. *)
+
+val of_entries : Recorder.entry list -> attr list
+(** One forward pass; result in install order.  Installs whose [Propose]
+    was not retained (truncated ring recordings) are skipped; segments are
+    clamped non-negative on partial recordings. *)
+
+type window_row = {
+  w_index : int;
+  w_installs : int;
+  w_propose : float;  (** summed seconds per segment over the window *)
+  w_flush : float;
+  w_stability : float;
+}
+
+val windows : interval:float -> attr list -> window_row list
+(** Group attributions into [interval]-second windows of install time,
+    ascending, windows with no installs omitted.  Raises
+    [Invalid_argument] on a non-positive interval. *)
+
+val window_total : window_row -> float
+
+val to_table : interval:float -> attr list -> Vs_stats.Table.t
+
+val to_json : interval:float -> attr list -> Json.t

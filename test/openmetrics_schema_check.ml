@@ -1,0 +1,169 @@
+(* @openmetrics-schema drift guard.
+
+   A fixed synthetic Metrics registry covering every family type the
+   exposition can emit — counters, gauges (finite and non-finite),
+   histograms (empty, in-range, under/overflow) and names needing
+   sanitization — is rendered with Openmetrics.of_metrics and committed
+   as test/openmetrics_sample.txt.  This check regenerates the text from
+   the current code and verifies
+
+     1. the committed file is byte-identical to what the current emitter
+        produces (family order, label spelling, float repr and the
+        trailing "# EOF" are all frozen);
+     2. basic structural invariants hold: every sample line belongs to a
+        declared family, histogram bucket series are cumulative and end
+        with the +Inf bucket equal to _count.
+
+   Regenerate after an intentional format change with:
+
+     dune exec test/openmetrics_schema_check.exe -- --write test/openmetrics_sample.txt
+*)
+
+module Metrics = Vs_obs.Metrics
+module Openmetrics = Vs_obs.Openmetrics
+
+let sample_registry () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:42 m "net.sends";
+  Metrics.incr m "gms.installs";
+  Metrics.incr ~by:7 m "net.sends.mode.NORMAL";
+  (* a name that needs sanitizing *)
+  Metrics.incr m "app kv.puts%ok";
+  Metrics.set_gauge m "run.last-event-time" 12.375;
+  Metrics.set_gauge m "fd.suspicion-level" 0.1;
+  Metrics.set_gauge m "run.skew" infinity;
+  (* histogram spanning the special buckets: zero, underflow, two
+     in-range samples sharing a bucket, distinct buckets, overflow *)
+  List.iter
+    (Metrics.observe m "view.install-latency")
+    [ 0.; 1e-9; 0.25; 0.2501; 0.5; 2e7 ];
+  List.iter (Metrics.observe m "vsync.flush-stall") [ 0.125 ];
+  m
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "openmetrics-schema FAIL: %s\n" msg)
+    fmt
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Structural pass over the exposition text: collect declared families,
+   check every sample line refers to one, and re-add the histogram
+   invariants (cumulative buckets, +Inf == _count). *)
+let validate text =
+  let lines = String.split_on_char '\n' text in
+  let families = Hashtbl.create 16 in
+  let metric_of_line line =
+    let stop = ref (String.length line) in
+    String.iteri
+      (fun i c -> if (c = '{' || c = ' ') && i < !stop then stop := i)
+      line;
+    String.sub line 0 !stop
+  in
+  let strip_suffix name =
+    let cut suffix =
+      let n = String.length name and m = String.length suffix in
+      if n > m && String.sub name (n - m) m = suffix then
+        Some (String.sub name 0 (n - m))
+      else None
+    in
+    match cut "_total" with
+    | Some base -> base
+    | None -> (
+        match (cut "_bucket", cut "_sum", cut "_count") with
+        | Some b, _, _ | _, Some b, _ | _, _, Some b -> b
+        | None, None, None -> name)
+  in
+  let bucket_state = Hashtbl.create 4 in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if line = "" || line = "# EOF" then ()
+      else if starts_with ~prefix:"# TYPE " line then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; kind ] ->
+            if not (List.mem kind [ "counter"; "gauge"; "histogram" ]) then
+              fail "line %d: unknown family type %S" lineno kind;
+            Hashtbl.replace families name kind
+        | _ -> fail "line %d: malformed TYPE line %S" lineno line
+      end
+      else begin
+        let metric = metric_of_line line in
+        let base = strip_suffix metric in
+        (match Hashtbl.find_opt families base with
+        | Some _ -> ()
+        | None -> fail "line %d: sample %S has no TYPE declaration" lineno metric);
+        (* track histogram bucket monotonicity *)
+        if Hashtbl.find_opt families base = Some "histogram" then begin
+          let value () =
+            match String.rindex_opt line ' ' with
+            | Some j ->
+                int_of_string_opt
+                  (String.sub line (j + 1) (String.length line - j - 1))
+            | None -> None
+          in
+          match value () with
+          | None -> ()
+          | Some v ->
+              let prev =
+                Option.value ~default:(-1)
+                  (Hashtbl.find_opt bucket_state base)
+              in
+              let is_bucket =
+                let n = String.length metric in
+                n >= 7 && String.sub metric (n - 7) 7 = "_bucket"
+              in
+              if is_bucket then begin
+                if v < prev then
+                  fail "line %d: %s bucket series not cumulative" lineno base;
+                Hashtbl.replace bucket_state base v
+              end
+              else if
+                String.length metric >= 6
+                && String.sub metric (String.length metric - 6) 6 = "_count"
+              then
+                if v <> prev then
+                  fail "line %d: %s +Inf bucket (%d) != _count (%d)" lineno
+                    base prev v
+        end
+      end)
+    lines;
+  let n = List.length lines in
+  if n < 2 || List.nth lines (n - 2) <> "# EOF" then
+    fail "exposition does not end with # EOF"
+
+let check path =
+  let expected = Openmetrics.of_metrics (sample_registry ()) in
+  let actual = read_file path in
+  if not (String.equal actual expected) then
+    fail "%s is out of date with the exposition format — regenerate with --write"
+      path;
+  validate actual;
+  if !failures = 0 then print_endline "openmetrics-schema OK" else exit 1
+
+let write path =
+  let oc = open_out_bin path in
+  output_string oc (Openmetrics.of_metrics (sample_registry ()));
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--write"; path ] -> write path
+  | [ _; path ] -> check path
+  | _ ->
+      prerr_endline "usage: openmetrics_schema_check [--write] <sample.txt>";
+      exit 2

@@ -204,19 +204,20 @@ let test_metrics_derivation () =
   check Alcotest.int "drops by reason" 1 (Metrics.counter m "net.drops.loss");
   check Alcotest.int "sends by mode default N" 1
     (Metrics.counter m "net.sends.mode.N");
-  (match Metrics.hist m "view.install-latency" with
-  | None -> Alcotest.fail "no install-latency histogram"
-  | Some s ->
-      check (Alcotest.float 1e-9) "latency = propose->install" 0.25
-        (Summary.max_value s));
-  (match Metrics.hist m "view.flush-stall" with
-  | None -> Alcotest.fail "no flush-stall histogram"
-  | Some s ->
-      check (Alcotest.float 1e-9) "stall = flush->install" 0.15
-        (Summary.max_value s));
-  match Metrics.hist m "view.sync-deliveries" with
-  | None -> Alcotest.fail "no sync-deliveries histogram"
-  | Some s -> check (Alcotest.float 0.) "sync count" 3. (Summary.max_value s)
+  (* Histograms are HDR-bucketed: reported values are bucket upper bounds,
+     within a factor (1 + error) above the exact sample. *)
+  let check_hdr name exact h =
+    match h with
+    | None -> Alcotest.fail (name ^ ": histogram missing")
+    | Some s ->
+        let v = Vs_obs.Hdr.max_value s in
+        let ok = v >= exact && v <= exact *. (1. +. Vs_obs.Hdr.error s) in
+        check Alcotest.bool (name ^ " within bucket error") true ok
+  in
+  check_hdr "latency = propose->install" 0.25
+    (Metrics.hist m "view.install-latency");
+  check_hdr "stall = flush->install" 0.15 (Metrics.hist m "view.flush-stall");
+  check_hdr "sync count" 3. (Metrics.hist m "view.sync-deliveries")
 
 (* ---------- lineage conservation on a seeded lossy run ---------- *)
 

@@ -1,0 +1,356 @@
+(* vsmon telemetry-plane tests: HDR histogram error bounds against the
+   exact Summary statistics, byte-determinism of the windowed series and
+   the OpenMetrics exposition, schedule-invisibility of scraping, stall
+   attribution arithmetic, and the bench-diff verdict rules. *)
+
+module Hdr = Vs_obs.Hdr
+module Metrics = Vs_obs.Metrics
+module Series = Vs_obs.Series
+module Stall = Vs_obs.Stall
+module Openmetrics = Vs_obs.Openmetrics
+module Bench_diff = Vs_obs.Bench_diff
+module Json = Vs_obs.Json
+module Event = Vs_obs.Event
+module Recorder = Vs_obs.Recorder
+module Export = Vs_obs.Export
+module Summary = Vs_stats.Summary
+module Campaign = Vs_check.Campaign
+
+let p node inc = { Event.node; inc }
+
+let v epoch node = { Event.epoch; proposer = p node 0 }
+
+(* --- HDR histogram ------------------------------------------------------- *)
+
+(* Quantile bound: for samples inside (lowest, highest), the bucketed
+   quantile must satisfy exact <= reported <= exact * (1 + error), where
+   exact is Summary's nearest-rank percentile (both use the same rank
+   rule, so they pick the same underlying sample). *)
+let hdr_quantile_property =
+  QCheck.Test.make ~name:"hdr percentile within one bucket of exact" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 200)
+           (float_range 0.000002 999_000.))
+        (float_bound_inclusive 1.))
+    (fun (samples, q) ->
+      let h = Hdr.create () in
+      let s = Summary.create () in
+      List.iter
+        (fun x ->
+          Hdr.record h x;
+          Summary.add s x)
+        samples;
+      let exact = Summary.percentile s q in
+      let reported = Hdr.percentile h q in
+      let err = Hdr.error h in
+      reported >= exact *. (1. -. 1e-9)
+      && reported <= exact *. (1. +. err) *. (1. +. 1e-9))
+
+let test_hdr_edges () =
+  let h = Hdr.create () in
+  Alcotest.(check int) "empty count" 0 (Hdr.count h);
+  Alcotest.(check (float 0.)) "empty percentile" 0. (Hdr.percentile h 0.99);
+  (* one sample in each special bucket: zero/negative, underflow,
+     in-range, overflow *)
+  Hdr.record h 0.;
+  Hdr.record h (-3.);
+  Hdr.record h 1e-9;
+  Hdr.record h 5.;
+  Hdr.record h 2e9;
+  Alcotest.(check int) "count" 5 (Hdr.count h);
+  Alcotest.(check bool) "max >= overflow rep" true (Hdr.max_value h > 1e6);
+  Alcotest.(check bool) "min is the zero bucket" true (Hdr.min_value h <= 0.);
+  let pcts = List.map (Hdr.percentile h) [ 0.1; 0.3; 0.5; 0.7; 0.9; 1. ] in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "percentiles nondecreasing" true (nondecreasing pcts);
+  (* cumulative ends at the total count and is the _bucket series *)
+  (match List.rev (Hdr.cumulative h) with
+  | (_, last) :: _ -> Alcotest.(check int) "cumulative total" 5 last
+  | [] -> Alcotest.fail "cumulative empty");
+  Hdr.clear h;
+  Alcotest.(check int) "clear resets" 0 (Hdr.count h);
+  Alcotest.(check bool) "layout survives clear" true (Hdr.bucket_count h > 0)
+
+let test_hdr_create_validation () =
+  let invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "lowest <= 0 rejected" true
+    (invalid (fun () -> Hdr.create ~lowest:0. ()));
+  Alcotest.(check bool) "highest <= lowest rejected" true
+    (invalid (fun () -> Hdr.create ~lowest:1. ~highest:1. ()));
+  Alcotest.(check bool) "error out of range rejected" true
+    (invalid (fun () -> Hdr.create ~error:1.5 ()))
+
+(* --- series -------------------------------------------------------------- *)
+
+let run_campaign ~seed ~series () =
+  let recorder = Recorder.create ~level:Recorder.Protocol () in
+  (match series with
+  | Some s -> Recorder.set_sink recorder (Some (Series.observe s))
+  | None -> ());
+  let spec = Campaign.generate ~seed ~nodes:4 ~quick:true () in
+  let (_ : Campaign.outcome) = Campaign.run ~obs:recorder spec in
+  (match series with
+  | Some s ->
+      let now =
+        match Recorder.tail ~limit:1 recorder with
+        | [ e ] -> e.Recorder.time
+        | _ -> 0.
+      in
+      Series.finish s ~now
+  | None -> ());
+  recorder
+
+let test_series_deterministic () =
+  let one () =
+    let s = Series.create () in
+    let (_ : Recorder.t) = run_campaign ~seed:7 ~series:(Some s) () in
+    s
+  in
+  let a = one () and b = one () in
+  Alcotest.(check string) "series JSON byte-identical"
+    (Json.to_string (Series.to_json a))
+    (Json.to_string (Series.to_json b));
+  Alcotest.(check string) "openmetrics byte-identical"
+    (Openmetrics.of_metrics (Series.metrics a))
+    (Openmetrics.of_metrics (Series.metrics b));
+  Alcotest.(check bool) "windows were scraped" true (Series.count a > 0)
+
+(* Attaching a series must not perturb the run: the recorded stream with
+   scraping on is byte-identical to the stream with scraping off. *)
+let test_series_schedule_invisible () =
+  let plain = run_campaign ~seed:11 ~series:None () in
+  let tapped =
+    run_campaign ~seed:11 ~series:(Some (Series.create ())) ()
+  in
+  Alcotest.(check string) "event stream unchanged by scraping"
+    (Export.jsonl_of_entries (Recorder.entries plain))
+    (Export.jsonl_of_entries (Recorder.entries tapped))
+
+let test_series_windows () =
+  let s = Series.create ~interval:1.0 () in
+  let send t =
+    Series.observe s ~time:t
+      (Event.Send
+         { src = p 0 0; dst = p 1 0; kind = "data"; bytes = 8; msg = None })
+  in
+  send 0.2;
+  send 0.4;
+  send 1.5;
+  send 2.7;
+  Series.finish s ~now:2.7;
+  let snaps = Series.snapshots s in
+  Alcotest.(check int) "three windows" 3 (List.length snaps);
+  (match snaps with
+  | [ w0; w1; w2 ] ->
+      Alcotest.(check int) "window indices" 0 w0.Series.window;
+      Alcotest.(check (float 1e-9)) "w1 start" 1.0 w1.Series.t_start;
+      Alcotest.(check int) "cumulative sends at w0" 2
+        (Series.delta_counter ~prev:None w0 "net.sends");
+      Alcotest.(check int) "delta sends in w1" 1
+        (Series.delta_counter ~prev:(Some w0) w1 "net.sends");
+      Alcotest.(check int) "delta sends in w2" 1
+        (Series.delta_counter ~prev:(Some w1) w2 "net.sends")
+  | _ -> Alcotest.fail "unexpected snapshot shape");
+  (* finish is idempotent and observe is ignored afterwards *)
+  Series.finish s ~now:9.9;
+  send 5.0;
+  Alcotest.(check int) "no windows after finish" 3
+    (List.length (Series.snapshots s))
+
+let test_series_ring_truncation () =
+  let s = Series.create ~capacity:2 ~interval:1.0 () in
+  let note t =
+    Series.observe s ~time:t
+      (Event.Note { component = "app"; message = "tick" })
+  in
+  List.iter note [ 0.5; 1.5; 2.5; 3.5 ];
+  Series.finish s ~now:3.5;
+  Alcotest.(check int) "all windows counted" 4 (Series.count s);
+  let snaps = Series.snapshots s in
+  Alcotest.(check int) "ring keeps newest two" 2 (List.length snaps);
+  match snaps with
+  | [ a; b ] ->
+      Alcotest.(check int) "oldest retained" 2 a.Series.window;
+      Alcotest.(check int) "newest retained" 3 b.Series.window
+  | _ -> Alcotest.fail "unexpected ring shape"
+
+(* --- stall attribution ---------------------------------------------------- *)
+
+let test_stall_attribution () =
+  let e time event = { Recorder.time; event } in
+  let vid = v 2 0 in
+  let members = [ p 0 0; p 1 0 ] in
+  let entries =
+    [
+      e 1.0 (Event.Propose { proc = p 0 0; vid; members });
+      e 1.0 (Event.Propose { proc = p 1 0; vid; members });
+      e 1.2 (Event.Flush { proc = p 0 0; vid; seen = 2 });
+      e 1.5 (Event.Flush { proc = p 1 0; vid; seen = 2 });
+      e 1.6 (Event.Install { proc = p 0 0; vid; members; sync = 2 });
+      e 1.7 (Event.Install { proc = p 1 0; vid; members; sync = 2 });
+    ]
+  in
+  let attrs = Stall.of_entries entries in
+  Alcotest.(check int) "one attribution per install" 2 (List.length attrs);
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "segments non-negative" true
+        (a.Stall.a_propose_wait >= 0.
+        && a.Stall.a_flush_wait >= 0.
+        && a.Stall.a_stability_wait >= 0.);
+      (* the three segments must sum to the install latency *)
+      Alcotest.(check (float 1e-9)) "segments sum to latency"
+        (a.Stall.a_time -. 1.0) (Stall.total a))
+    attrs;
+  (* proc 0 flushed early: its flush-ack wait spans to the last flush *)
+  (match attrs with
+  | a0 :: _ ->
+      Alcotest.(check (float 1e-9)) "propose wait" 0.2 a0.Stall.a_propose_wait;
+      Alcotest.(check (float 1e-9)) "flush-ack wait" 0.3 a0.Stall.a_flush_wait;
+      Alcotest.(check (float 1e-9)) "stability wait" 0.1
+        a0.Stall.a_stability_wait
+  | [] -> Alcotest.fail "no attributions");
+  let rows = Stall.windows ~interval:1.0 attrs in
+  Alcotest.(check int) "one occupied window" 1 (List.length rows);
+  match rows with
+  | [ r ] ->
+      Alcotest.(check int) "installs in window" 2 r.Stall.w_installs;
+      Alcotest.(check (float 1e-9)) "window total = summed latency"
+        (0.6 +. 0.7) (Stall.window_total r)
+  | _ -> Alcotest.fail "unexpected window shape"
+
+(* --- openmetrics ---------------------------------------------------------- *)
+
+let test_openmetrics_format () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:3 m "net.sends";
+  Metrics.set_gauge m "run.last-event-time" 1.25;
+  Metrics.observe m "view.install-latency" 0.2;
+  Metrics.observe m "view.install-latency" 0.4;
+  let text = Openmetrics.of_metrics m in
+  let has sub =
+    let n = String.length text and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter family" true
+    (has "# TYPE vs_net_sends counter");
+  Alcotest.(check bool) "counter sample" true (has "vs_net_sends_total 3");
+  Alcotest.(check bool) "gauge sample" true
+    (has "vs_run_last_event_time 1.25");
+  Alcotest.(check bool) "+Inf bucket" true
+    (has "vs_view_install_latency_bucket{le=\"+Inf\"} 2");
+  Alcotest.(check bool) "hist count" true (has "vs_view_install_latency_count 2");
+  Alcotest.(check bool) "EOF terminator" true
+    (String.length text >= 6
+    && String.sub text (String.length text - 6) 6 = "# EOF\n");
+  Alcotest.(check string) "sanitize" "a_b:c_9_"
+    (Openmetrics.sanitize "a.b:c 9%");
+  Alcotest.(check string) "non-finite spelling" "+Inf"
+    (Openmetrics.sample_value infinity)
+
+(* --- bench diff ----------------------------------------------------------- *)
+
+let obj fields = Json.Obj fields
+
+let test_bench_diff_verdicts () =
+  let old_doc =
+    obj
+      [
+        ("zero_alloc_send", Json.Bool true);
+        ("words_per_call", Json.Float 0.);
+        ("e1_wall_ms", Json.Float 10.);
+        ("ops_per_wall_s", Json.Float 1000.);
+        ("note", Json.Str "info");
+      ]
+  in
+  let new_doc =
+    obj
+      [
+        ("zero_alloc_send", Json.Bool false);
+        ("words_per_call", Json.Float 2.);
+        ("e1_wall_ms", Json.Float 10.5);
+        ("ops_per_wall_s", Json.Float 100.);
+        ("note", Json.Str "changed-info");
+      ]
+  in
+  let rows = Bench_diff.diff ~old_doc ~new_doc () in
+  let verdict key =
+    match List.find_opt (fun r -> r.Bench_diff.key = key) rows with
+    | Some r -> r.Bench_diff.r_verdict
+    | None -> Alcotest.fail ("missing key " ^ key)
+  in
+  Alcotest.(check bool) "bool false-ing regresses" true
+    (verdict "zero_alloc_send" = Bench_diff.Regressed);
+  Alcotest.(check bool) "word count increase regresses" true
+    (verdict "words_per_call" = Bench_diff.Regressed);
+  Alcotest.(check bool) "small wall drift tolerated" true
+    (verdict "e1_wall_ms" = Bench_diff.Ok);
+  Alcotest.(check bool) "throughput collapse regresses" true
+    (verdict "ops_per_wall_s" = Bench_diff.Regressed);
+  Alcotest.(check bool) "info churn never gates" true
+    (verdict "note" = Bench_diff.Changed);
+  Alcotest.(check int) "exit code flags regressions" 1
+    (Bench_diff.exit_code rows);
+  (* the flake-free CI subset excludes the throughput key (measured) *)
+  let det = Bench_diff.deterministic_regressions rows in
+  Alcotest.(check int) "deterministic subset" 2 (List.length det);
+  (* identical documents diff clean *)
+  let clean = Bench_diff.diff ~old_doc ~new_doc:old_doc () in
+  Alcotest.(check int) "identical docs exit 0" 0 (Bench_diff.exit_code clean)
+
+let test_bench_diff_keyed_arrays () =
+  let arm name wall = obj [ ("name", Json.Str name); ("wall_ms", Json.Float wall) ] in
+  let old_doc = obj [ ("arms", Json.Arr [ arm "a" 5.; arm "b" 7. ]) ] in
+  (* same content, reordered — must not produce any changed/added rows *)
+  let new_doc = obj [ ("arms", Json.Arr [ arm "b" 7.; arm "a" 5. ]) ] in
+  let rows = Bench_diff.diff ~old_doc ~new_doc () in
+  Alcotest.(check bool) "reordering keyed arrays is invisible" true
+    (List.for_all (fun r -> r.Bench_diff.r_verdict = Bench_diff.Ok) rows);
+  (* a dropped arm shows up as removed, a new one as added *)
+  let new_doc2 = obj [ ("arms", Json.Arr [ arm "a" 5.; arm "c" 9. ]) ] in
+  let rows2 = Bench_diff.diff ~old_doc ~new_doc:new_doc2 () in
+  let count v =
+    List.length (List.filter (fun r -> r.Bench_diff.r_verdict = v) rows2)
+  in
+  Alcotest.(check int) "removed arm reported" 2 (count Bench_diff.Removed);
+  Alcotest.(check int) "added arm reported" 2 (count Bench_diff.Added)
+
+let () =
+  Alcotest.run "vsmon"
+    [
+      ( "hdr",
+        [
+          QCheck_alcotest.to_alcotest hdr_quantile_property;
+          Alcotest.test_case "edge buckets and clear" `Quick test_hdr_edges;
+          Alcotest.test_case "create validation" `Quick
+            test_hdr_create_validation;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "byte-deterministic across seeds" `Quick
+            test_series_deterministic;
+          Alcotest.test_case "scraping is schedule-invisible" `Quick
+            test_series_schedule_invisible;
+          Alcotest.test_case "window closing and deltas" `Quick
+            test_series_windows;
+          Alcotest.test_case "ring truncation" `Quick
+            test_series_ring_truncation;
+        ] );
+      ( "stall",
+        [
+          Alcotest.test_case "attribution arithmetic" `Quick
+            test_stall_attribution;
+        ] );
+      ( "openmetrics",
+        [ Alcotest.test_case "exposition format" `Quick test_openmetrics_format ] );
+      ( "bench-diff",
+        [
+          Alcotest.test_case "verdict rules" `Quick test_bench_diff_verdicts;
+          Alcotest.test_case "keyed arrays" `Quick test_bench_diff_keyed_arrays;
+        ] );
+    ]
