@@ -105,15 +105,26 @@ let measured_alloc f =
    allocations, with no GC-phase noise.  ([Gc.allocated_bytes] deltas are not
    stable here: the heap-array growths land minor-or-major depending on
    nursery phase.) *)
-let words_per_send ?(with_series = false) ~level () =
+let words_per_send ?(with_series = false) ?(with_causal = false) ~level () =
   let module Net = Vs_net.Net in
   let module Sim = Vs_sim.Sim in
   let recorder = Recorder.create ~level () in
   (* [with_series] attaches a vsmon scrape series at the default interval —
-     the acceptance bar is that the off-path word count does not move. *)
+     the acceptance bar is that the off-path word count does not move.
+     [with_causal] attaches the vspath causal collector the same way; both
+     can be live at once (the multi-sink regression in test_vspath.ml is the
+     functional half, this is the allocation half). *)
   if with_series then begin
     let s = Vs_obs.Series.create () in
-    Recorder.set_sink recorder (Some (Vs_obs.Series.observe s))
+    ignore
+      (Recorder.add_sink recorder (Vs_obs.Series.observe s)
+        : Recorder.sink_handle)
+  end;
+  if with_causal then begin
+    let c = Vs_obs.Causal.collector () in
+    ignore
+      (Recorder.add_sink recorder (Vs_obs.Causal.observe c)
+        : Recorder.sink_handle)
   end;
   let sim = Sim.create ~seed:11L ~obs:recorder () in
   let net = Net.create sim Net.default_config in
@@ -272,6 +283,18 @@ let run_obs () =
       off off_s proto proto_s;
     exit 1
   end;
+  (* 1b'''. Same bar for the vspath causal collector: it only sees what the
+     recorder emits, so below Full the send path must stay word-for-word
+     identical with the collector attached (ISSUE 10's bench gate). *)
+  let off_c = words_per_send ~with_causal:true ~level:Recorder.Off () in
+  let proto_c = words_per_send ~with_causal:true ~level:Recorder.Protocol () in
+  if off_c <> off || proto_c <> proto then begin
+    Printf.printf
+      "OBS FAILURE: send allocation moved with a causal collector attached \
+       (off %.1f -> %.1f, protocol %.1f -> %.1f words/send)\n"
+      off off_c proto proto_c;
+    exit 1
+  end;
   (* 1b''. The histogram record path itself: rule A1 proves it allocation-
      free statically; the word counter must agree exactly. *)
   let hdr_words = words_per_hdr_record () in
@@ -396,6 +419,8 @@ let run_obs () =
           Json.Bool (off_pc = off && proto_pc = proto) );
         ( "zero_alloc_off_path_with_series",
           Json.Bool (off_s = off && proto_s = proto) );
+        ( "zero_alloc_off_path_with_causal",
+          Json.Bool (off_c = off && proto_c = proto) );
         ("hdr_record_words_per_call", Json.Float hdr_words);
         ("zero_alloc_hdr_record", Json.Bool (hdr_words = 0.0));
         ( "zero_alloc_contract",
@@ -468,6 +493,21 @@ let run_throughput ~quick ~scale =
     (if quick then "quick" else "full");
   let kv = TP.run_arms ~clock ~quick () in
   Table.print (TP.throughput_table kv);
+  Table.print (TP.critpath_table kv);
+  (* The vspath cross-check is a hard gate, not a reported number: a
+     decomposition that no longer sums to the install latency or disagrees
+     with the Stall attribution means the profiler is lying about where the
+     latency went. *)
+  List.iter
+    (fun (r : TP.result) ->
+      if not r.TP.r_critpath_consistent then begin
+        Printf.printf
+          "THROUGHPUT FAILURE: arm %s critical-path decomposition disagrees \
+           with the Stall attribution (or does not sum to install latency)\n"
+          r.TP.r_name;
+        exit 1
+      end)
+    kv;
   let dp = TP.run_data_plane ~clock ~quick () in
   Table.print (TP.data_plane_table dp);
   let dp_speedup = TP.dp_speedup dp in
@@ -515,6 +555,24 @@ let run_throughput ~quick ~scale =
                        (TP.hist_pct r.TP.r_flush 0.5)
                        (TP.hist_pct r.TP.r_flush 0.99);
                      ("wire_msgs_per_op", Json.Float r.TP.r_wire_per_op);
+                     ( "critical_path",
+                       Json.Obj
+                         (List.map
+                            (fun (k, v) -> (k, Json.Float v))
+                            r.TP.r_critpath
+                         @ [
+                             ( "straggler",
+                               match r.TP.r_straggler with
+                               | Some (p, c) ->
+                                   Json.Obj
+                                     [
+                                       ("proc", Json.Str p);
+                                       ("charged_s", Json.Float c);
+                                     ]
+                               | None -> Json.Null );
+                             ( "consistent_with_stall",
+                               Json.Bool r.TP.r_critpath_consistent );
+                           ]) );
                      ( "windows",
                        Json.Arr
                          (List.map
@@ -573,6 +631,49 @@ let run_throughput ~quick ~scale =
                merges) );
       ]
   in
+  (* Refusal gate, same pattern as the BENCH_obs.json one below: diff the
+     candidate against the committed BENCH_throughput.json and refuse to
+     overwrite on a deterministic regression.  Here the deterministic keys
+     are the 10x data-plane gate and the per-arm consistent_with_stall
+     cross-check the critical-path block carries. *)
+  let module Bd = Vs_obs.Bench_diff in
+  let baseline =
+    if Sys.file_exists "BENCH_throughput.json" then begin
+      let ic = open_in_bin "BENCH_throughput.json" in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Json.of_string text with
+      | Ok doc -> Some doc
+      | Error msg ->
+          Printf.printf
+            "note: committed BENCH_throughput.json unparseable (%s); \
+             skipping the regression diff\n"
+            msg;
+          None
+    end
+    else None
+  in
+  (match baseline with
+  | None -> ()
+  | Some old_doc ->
+      let rows = Bd.diff ~old_doc ~new_doc:json () in
+      Table.print (Bd.to_table rows);
+      print_endline (Bd.summary rows);
+      let det = Bd.deterministic_regressions rows in
+      if det <> [] then begin
+        List.iter
+          (fun (r : Bd.row) ->
+            Printf.printf "BENCH REGRESSION (deterministic key): %s (%s)\n"
+              r.Bd.key r.Bd.r_note)
+          det;
+        print_endline
+          "BENCH_throughput.json left unchanged (deterministic regression \
+           vs the committed baseline)";
+        exit 1
+      end);
   let oc = open_out "BENCH_throughput.json" in
   output_string oc (Json.to_string json);
   output_char oc '\n';

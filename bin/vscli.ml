@@ -9,6 +9,8 @@
      trace        run a campaign and dump the annotated event trace
      top          per-window vsmon telemetry + flush-stall attribution
      metrics      expose the end-of-run registry (OpenMetrics or JSON)
+     path         causal critical-path profile (vspath); --flame for stacks
+     diff-runs    structural diff of two runs; first causal divergence
      bench diff   compare two BENCH_*.json artifacts; non-zero on regression
      lint         run the vslint determinism checks (same driver as vslint) *)
 
@@ -685,7 +687,9 @@ let interval_arg =
 let run_with_series ~spec ~interval =
   let obs = Recorder.create ~level:Recorder.Full () in
   let series = Series.create ~interval () in
-  Recorder.set_sink obs (Some (Series.observe series));
+  let (_ : Recorder.sink_handle) =
+    Recorder.add_sink obs (Series.observe series)
+  in
   let outcome = Campaign.run ~obs spec in
   let last_time =
     match List.rev (Recorder.tail ~limit:1 obs) with
@@ -759,6 +763,158 @@ let metrics_cmd =
     Term.(
       const run $ seed_arg $ nodes_arg $ evs_arg $ replay_arg $ interval_arg
       $ format)
+
+(* ---------- path / diff-runs (vspath surfacing) ---------- *)
+
+module Causal = Vs_obs.Causal
+module Critpath = Vs_obs.Critpath
+module Flame = Vs_obs.Flame
+module Rundiff = Vs_obs.Rundiff
+
+let write_file path text =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc text)
+
+(* Full recording: the causal DAG wants the per-message traffic. *)
+let record_run spec =
+  let obs = Recorder.create ~level:Recorder.Full () in
+  let (_ : Campaign.outcome) = Campaign.run ~obs spec in
+  Recorder.entries obs
+
+let path_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Machine-readable JSON instead of tables.")
+  in
+  let flame =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame" ] ~docv:"FILE"
+          ~doc:
+            "Also write the folded-stack export (flamegraph.pl input) to \
+             $(docv).")
+  in
+  let run seed nodes evs replay json flame =
+    let spec = spec_of ~seed ~nodes ~evs ~replay in
+    let entries = record_run spec in
+    let dag = Causal.of_entries entries in
+    (match Causal.validate dag with
+    | Ok () -> ()
+    | Error msg ->
+        Printf.eprintf "causal DAG validation failed: %s\n" msg;
+        exit 2);
+    let cp = Critpath.of_dag dag in
+    (match flame with
+    | Some file -> write_file file (Flame.folded cp)
+    | None -> ());
+    let st = Causal.stats dag in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ( "dag",
+                  Json.Obj
+                    [
+                      ("nodes", Json.Int st.Causal.c_nodes);
+                      ("program_edges", Json.Int st.Causal.c_program_edges);
+                      ("message_edges", Json.Int st.Causal.c_message_edges);
+                      ("barrier_edges", Json.Int st.Causal.c_barrier_edges);
+                      ("orphan_recvs", Json.Int st.Causal.c_orphan_recvs);
+                    ] );
+                ("critpath", Critpath.to_json cp);
+              ]))
+    else begin
+      Printf.printf "%s\n" (Campaign.describe spec);
+      Printf.printf
+        "causal DAG: %d nodes, %d program + %d message + %d barrier edges, \
+         %d orphan recvs\n\n"
+        st.Causal.c_nodes st.Causal.c_program_edges st.Causal.c_message_edges
+        st.Causal.c_barrier_edges st.Causal.c_orphan_recvs;
+      Vs_stats.Table.print (Critpath.to_table cp);
+      let o = cp.Critpath.ops in
+      Printf.printf
+        "applied ops: %d walked, %d retransmit-delayed, slowest %s \
+         (%.6f s), mean path %.6f s\n"
+        o.Critpath.o_ops o.Critpath.o_retransmit_delayed
+        (match o.Critpath.o_slowest with
+        | Some (m, _) -> Event.msg_to_string m
+        | None -> "-")
+        o.Critpath.o_latency_max
+        (if o.Critpath.o_ops = 0 then 0.
+         else o.Critpath.o_latency_total /. float_of_int o.Critpath.o_ops);
+      match cp.Critpath.straggler with
+      | Some (p, c) ->
+          Printf.printf "cluster straggler: %s (%.4f s charged on install \
+                         paths)\n"
+            (Event.proc_to_string p) c
+      | None -> ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "path"
+       ~doc:
+         "Causal critical-path profile of a seed campaign or corpus repro: \
+          build the happened-before DAG from a full recording, decompose \
+          every view installation's latency into typed segments \
+          (local-compute, network-flight, retransmit-wait, flush-ack-wait, \
+          stability-wait, suspect-timeout) attributed to processes and \
+          links, and name the per-view straggler.  $(b,--flame) writes \
+          folded stacks for flamegraph rendering.")
+    Term.(
+      const run $ seed_arg $ nodes_arg $ evs_arg $ replay_arg $ json $ flame)
+
+(* Each side of a diff is either an integer seed (generated campaign) or a
+   path to a corpus repro artifact. *)
+let side_spec ~nodes ~evs arg =
+  match int_of_string_opt arg with
+  | Some seed -> spec_of ~seed ~nodes ~evs ~replay:None
+  | None -> spec_of ~seed:0 ~nodes ~evs ~replay:(Some arg)
+
+let diff_runs_cmd =
+  let a_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"A"
+          ~doc:"Baseline run: an integer seed or a repro artifact path.")
+  in
+  let b_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"B"
+          ~doc:"Candidate run: an integer seed or a repro artifact path.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Machine-readable JSON instead of text.")
+  in
+  let run a b nodes evs json =
+    let spec_a = side_spec ~nodes ~evs a and spec_b = side_spec ~nodes ~evs b in
+    let ra = record_run spec_a and rb = record_run spec_b in
+    let d = Rundiff.diff ~a:ra ~b:rb in
+    if json then print_endline (Json.to_string (Rundiff.to_json d))
+    else begin
+      Printf.printf "A: %s\nB: %s\n\n" (Campaign.describe spec_a)
+        (Campaign.describe spec_b);
+      print_string (Rundiff.to_text d)
+    end
+  in
+  Cmd.v
+    (Cmd.info "diff-runs"
+       ~doc:
+         "Structurally diff two recorded runs (seeds or corpus repros): \
+          align on the view graph and (origin, seq) message lineage, report \
+          the first causal divergence — naming the corrupted field when a \
+          transient-corruption event is where they part — and the \
+          per-phase latency deltas.")
+    Term.(const run $ a_arg $ b_arg $ nodes_arg $ evs_arg $ json)
 
 (* ---------- bench diff ---------- *)
 
@@ -954,6 +1110,6 @@ let () =
        (Cmd.group info
           [
             experiment_cmd; campaign_cmd; check_cmd; explain_cmd; query_cmd;
-            trace_cmd; top_cmd; metrics_cmd; bench_cmd; lint_cmd;
-            throughput_cmd;
+            trace_cmd; top_cmd; metrics_cmd; path_cmd; diff_runs_cmd;
+            bench_cmd; lint_cmd; throughput_cmd;
           ]))

@@ -41,6 +41,8 @@ module Recorder = Vs_obs.Recorder
 module Metrics = Vs_obs.Metrics
 module Series = Vs_obs.Series
 module Stall = Vs_obs.Stall
+module Critpath = Vs_obs.Critpath
+module Obs_event = Vs_obs.Event
 module Cluster = Vs_harness.Vsync_cluster
 module Oracle = Vs_harness.Oracle
 module Faults = Vs_harness.Faults
@@ -162,6 +164,15 @@ type result = {
   r_wire_sent : int;
   r_wire_per_op : float;
   r_windows : window_stat list;  (* measured window sliced by the series *)
+  (* vspath critical-path block: install latency decomposed on the causal
+     DAG of the same recording (Protocol level, so the propose phase shows
+     as local work — the flush/stability split is what the arms differ
+     on).  [r_critpath_consistent] is the cross-check the bench gates on:
+     segments sum to install latency and the flush/stability components
+     agree with the Stall attribution. *)
+  r_critpath : (string * float) list;  (* seg-kind name -> summed seconds *)
+  r_straggler : (string * float) option;  (* proc, charged seconds *)
+  r_critpath_consistent : bool;
 }
 
 (* One arm: same seed, same workload drawing order — only the endpoint
@@ -256,6 +267,7 @@ let run_arm ?clock ~seed ~workload:w arm =
      install activity from the series snapshots, and the exact p99 install
      latency from the stall attributions falling in each window. *)
   let attrs = Stall.of_entries entries in
+  let cp = Critpath.of_entries entries in
   let windows =
     let in_measured (s : Series.snapshot) =
       s.Series.t_start >= !window_start -. (interval /. 2.)
@@ -327,6 +339,15 @@ let run_arm ?clock ~seed ~workload:w arm =
          float_of_int wire_sent /. float_of_int load.App_fleet.accepted
        else 0.);
     r_windows = windows;
+    r_critpath =
+      List.map
+        (fun (k, v) -> (Critpath.seg_kind_to_string k, v))
+        (Critpath.kind_seconds cp);
+    r_straggler =
+      Option.map
+        (fun (p, c) -> (Obs_event.proc_to_string p, c))
+        cp.Critpath.straggler;
+    r_critpath_consistent = Critpath.consistent_with_stall cp attrs;
   }
 
 let run_arms ?clock ?(quick = false) ?(seed = 1106L) () =
@@ -616,6 +637,41 @@ let window_table results =
     results;
   table
 
+(* Per-arm critical-path block: where the install latency of each arm
+   actually went, on the causal DAG of the same recording.  The
+   flush-ack-wait column is the one batching/pipelining moves; the
+   "consistent" column is the Stall cross-check the bench refuses on. *)
+let critpath_table results =
+  let table =
+    Table.create
+      ~title:
+        "T/critpath — per-arm install critical path: summed seconds by \
+         segment kind, straggler, Stall consistency"
+      ~columns:
+        ([ "arm" ]
+        @ List.map Critpath.seg_kind_to_string Critpath.all_seg_kinds
+        @ [ "straggler"; "consistent" ])
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        ([ r.r_name ]
+        @ List.map
+            (fun k ->
+              let name = Critpath.seg_kind_to_string k in
+              match List.assoc_opt name r.r_critpath with
+              | Some v -> Table.ffloat ~decimals:4 v
+              | None -> "-")
+            Critpath.all_seg_kinds
+        @ [
+            (match r.r_straggler with
+            | Some (p, c) -> Printf.sprintf "%s (%.4fs)" p c
+            | None -> "-");
+            (if r.r_critpath_consistent then "yes" else "NO");
+          ]))
+    results;
+  table
+
 (* ---------- claim C1 at scale ---------- *)
 
 (* E4 merges partitions of up to 16 members under the default (LAN-interactive)
@@ -716,6 +772,7 @@ let tables ?(quick = false) () =
   let merge = [ merge_at_scale ~k:(if quick then 25 else 50) ] in
   [
     throughput_table ~with_wall:false results;
+    critpath_table results;
     window_table results;
     data_plane_table ~with_wall:false dp;
     merge_table merge;

@@ -64,6 +64,12 @@ type outcome = {
           were filtered through {!Oracle.stabilization} (recovery-window
           violations quarantined, persisting ones relabeled) and, on EVS
           runs, the 6.1/6.3/structural checks re-ran from the cut *)
+  straggler : (string * float) option;
+      (** the vspath verdict — the process carrying the largest summed
+          charge across the run's install critical paths, with that charge
+          in seconds.  Computed only when [?obs] recorded at [Full] level
+          (the causal DAG needs per-message traffic); [None] otherwise, so
+          Protocol/Off-level checking runs pay nothing for it *)
 }
 
 val run_schedule :

@@ -56,8 +56,14 @@ let wall_factor = 2.5
 let classify ?(threshold = default_threshold) key =
   let has sub = contains ~sub key in
   if has "zero_alloc_contract" then Info
-  else if has "zero_alloc" || has "gate_" then Exact
+  else if has "zero_alloc" || has "gate_" || has "consistent_with_stall" then
+    Exact
   else if has "words_per_call" || has "findings" then Lower 0.
+  (* vspath critical-path blocks: the straggler identity is churn, the
+     per-kind seconds are sim-deterministic measurements (lower is
+     better); only the consistency boolean above gates deterministically *)
+  else if has "straggler" then Info
+  else if has "critical_path" then Lower threshold
   (* higher-is-better first: "ops_per_wall_s" would otherwise be caught
      by the "wall_s" wall-clock rule below *)
   else if has "ops_per_wall_s" || has "speedup" then Higher threshold

@@ -32,11 +32,14 @@ type t = {
   mutable count : int;
   mutable cache : entry list;
   mutable cache_count : int;
-  (* Optional live tap: called with every recorded event, after storage.
-     This is how the vsmon series layer observes a run without a second
-     emission path — [None] (the default) leaves [emit] byte-identical to a
-     sink-less recorder. *)
-  mutable sink : (time:float -> Event.t -> unit) option;
+  (* Live taps: each is called with every recorded event, after storage.
+     This is how the vsmon series layer and the vspath causal collector
+     observe a run without a second emission path — the empty list (the
+     default) leaves [emit] byte-identical to a sink-less recorder.  Sinks
+     are keyed by a monotone id so [remove_sink] detaches exactly the
+     handle it was given; notification order is registration order. *)
+  mutable sinks : (int * (time:float -> Event.t -> unit)) list;
+  mutable next_sink : int;
 }
 
 let default = ref Protocol
@@ -66,10 +69,22 @@ let create ?capacity ?level () =
     count = 0;
     cache = [];
     cache_count = -1;
-    sink = None;
+    sinks = [];
+    next_sink = 0;
   }
 
-let set_sink t sink = t.sink <- sink
+type sink_handle = int
+
+let add_sink t f =
+  let id = t.next_sink in
+  t.next_sink <- id + 1;
+  (* Append keeps notification order = registration order without paying a
+     reversal on the hot path. *)
+  t.sinks <- t.sinks @ [ (id, f) ];
+  id
+
+let remove_sink t handle =
+  t.sinks <- List.filter (fun (id, _) -> id <> handle) t.sinks
 
 let level t = t.level
 
@@ -81,6 +96,15 @@ let protocol_on t = match t.level with Off -> false | Protocol | Full -> true
 
 (* vslint: alloc-free *)
 let full_on t = match t.level with Full -> true | Off | Protocol -> false
+
+(* Tail-recursive sink walk; lifted out of [emit] so the no-sink fast path
+   allocates nothing (no closure for the loop). *)
+let rec notify_sinks sinks ~time event =
+  match sinks with
+  | [] -> ()
+  | (_, f) :: rest ->
+      f ~time event;
+      notify_sinks rest ~time event
 
 let emit t ~time event =
   match t.level with
@@ -94,7 +118,9 @@ let emit t ~time event =
           t.ring.(t.ring_pos) <- { time; event };
           t.ring_pos <- (t.ring_pos + 1) mod n;
           t.count <- t.count + 1);
-      match t.sink with None -> () | Some f -> f ~time event)
+      match t.sinks with
+      | [] -> ()
+      | sinks -> notify_sinks sinks ~time event)
 
 let count t = t.count
 

@@ -43,15 +43,22 @@ val full_on : t -> bool
     runs pay zero allocations per send. *)
 
 val emit : t -> time:float -> Event.t -> unit
-(** No-op at [Off].  When a {!set_sink} tap is installed, every recorded
-    event is also passed to it (after storage); [Off] emissions never reach
-    the sink. *)
+(** No-op at [Off].  When {!add_sink} taps are installed, every recorded
+    event is also passed to each of them in registration order (after
+    storage); [Off] emissions never reach the sinks. *)
 
-val set_sink : t -> (time:float -> Event.t -> unit) option -> unit
-(** Install (or clear) a live tap on the recorded stream.  [None] — the
-    default — leaves {!emit} byte-identical to a sink-less recorder; this is
-    how [Sim.create ?series] wires the vsmon series layer in without a
-    second emission path. *)
+type sink_handle
+
+val add_sink : t -> (time:float -> Event.t -> unit) -> sink_handle
+(** Install a live tap on the recorded stream and return a handle for
+    {!remove_sink}.  Multiple sinks coexist (the vsmon series tap and the
+    vspath causal collector can watch the same run); with no sinks
+    installed — the default — {!emit} is byte-identical to a sink-less
+    recorder and allocates nothing beyond storage. *)
+
+val remove_sink : t -> sink_handle -> unit
+(** Detach the tap registered under [handle].  Unknown or already-removed
+    handles are ignored. *)
 
 val count : t -> int
 (** Total events ever emitted — including any a bounded recorder has since

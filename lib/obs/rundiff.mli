@@ -1,0 +1,67 @@
+(** Structural diff of two recorded runs (vspath's cross-run half).
+
+    The two streams are aligned on structure, not wall-clock: the causal
+    signature of an event is its type plus rendered payload (no timestamp),
+    so two identically-seeded runs diff as identical even though their
+    in-memory recorders were distinct, and the {e first causal divergence}
+    of a perturbed replay (say, a transient corruption of one protocol
+    field) is the first stream position where the signatures differ — for
+    an injected [Corrupt] event the report names the corrupted field
+    directly.
+
+    On top of the event-level alignment the diff compares the view graphs
+    (the chains of distinct installed view ids), the [(origin, seq)]
+    message lineages (identities only one run carried), and the per-phase
+    latency decomposition (the three stall phases and the six
+    critical-path segment kinds, summed per run).
+
+    Output is byte-deterministic: every list is sorted by the typed
+    comparators, and rendering goes through the canonical JSON printer. *)
+
+type divergence = {
+  dv_index : int;  (** 0-based position in the aligned streams *)
+  dv_time_a : float option;  (** [None] when that side's stream ended *)
+  dv_time_b : float option;
+  dv_a : string option;  (** causal signature on side A *)
+  dv_b : string option;
+  dv_field : string option;
+      (** the corrupted protocol field: from the diverging event itself when
+          it is a [Corrupt], else from the first [Corrupt] at or after the
+          divergence (the harness notes the script action one entry before
+          the protocol's corruption record) — B's stream preferred *)
+}
+
+type phase_delta = {
+  pd_phase : string;
+  pd_a : float;  (** summed seconds in run A *)
+  pd_b : float;
+  pd_delta : float;  (** [pd_b -. pd_a] *)
+}
+
+type t = {
+  d_events_a : int;
+  d_events_b : int;
+  d_installs_a : int;
+  d_installs_b : int;
+  d_views_a : int;  (** distinct installed views *)
+  d_views_b : int;
+  d_shared_views : int;  (** shared prefix of the first-install chains *)
+  d_first_view_diff : (string option * string option) option;
+      (** first position where the chains differ; [None] side = exhausted *)
+  d_ops_a : int;  (** distinct message identities on the wire *)
+  d_ops_b : int;
+  d_ops_only_a : int;
+  d_ops_only_b : int;
+  d_first_op_diff : string option;
+      (** smallest identity present in exactly one run *)
+  d_divergence : divergence option;  (** [None]: causally identical *)
+  d_phases : phase_delta list;
+}
+
+val diff : a:Recorder.entry list -> b:Recorder.entry list -> t
+
+val to_text : t -> string
+(** Human-readable report: verdict line, divergence detail, view/lineage
+    alignment, phase table. *)
+
+val to_json : t -> Json.t

@@ -1,8 +1,8 @@
 (** Windowed time series over a recorded run — the continuous half of the
     telemetry plane (vsmon).
 
-    Attach via [Sim.create ?series] (which installs it as the recorder's
-    {!Recorder.set_sink} tap).  Every observed event folds into a live
+    Attach via [Sim.create ?series] (which installs it as a
+    {!Recorder.add_sink} tap).  Every observed event folds into a live
     {!Metrics.deriv} registry; each time an event's timestamp crosses a
     window boundary the registry is scraped into an immutable cumulative
     snapshot.  Windows close {e lazily} — driven by observed event times,

@@ -36,7 +36,9 @@ let create ?(seed = 1L) ?obs ?series () =
   (match series with
   | None -> ()
   | Some s ->
-      Vs_obs.Recorder.set_sink obs (Some (Vs_obs.Series.observe s)));
+      ignore
+        (Vs_obs.Recorder.add_sink obs (Vs_obs.Series.observe s)
+          : Vs_obs.Recorder.sink_handle));
   {
     clock = 0.;
     next_seq = 0;

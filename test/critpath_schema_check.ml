@@ -1,0 +1,148 @@
+(* @critpath-schema drift guard.
+
+   Two fixed seeded campaigns are recorded at Full level and pushed through
+   the vspath pipeline; the committed artifacts freeze its rendered formats:
+
+     - test/critpath_sample.folded — Flame.folded of the seed-3 recording
+       (the flamegraph.pl input format: sorted "frames count" lines);
+     - test/critpath_sample.diff.txt — Rundiff.to_text of seed 3 vs seed 4
+       (divergence report, alignment lines, per-phase delta table).
+
+   The check regenerates both from the current code and verifies
+
+     1. byte-identity with the committed files (stack spelling, sort order,
+       integer-microsecond values, table layout and float repr are all
+       frozen);
+     2. structural invariants of the folded format: every line is
+       "view;kind;owner <positive integer>", lines strictly sorted, every
+       kind one of the six segment kinds;
+     3. the diff sample reports a divergence (the two seeds genuinely
+       differ) and carries every per-phase row.
+
+   Regenerate after an intentional format change with:
+
+     dune exec test/critpath_schema_check.exe -- --write \
+       test/critpath_sample.folded test/critpath_sample.diff.txt
+*)
+
+module Recorder = Vs_obs.Recorder
+module Critpath = Vs_obs.Critpath
+module Flame = Vs_obs.Flame
+module Rundiff = Vs_obs.Rundiff
+module Campaign = Vs_check.Campaign
+
+let record seed =
+  let recorder = Recorder.create ~level:Recorder.Full () in
+  let spec = Campaign.generate ~seed ~nodes:4 ~quick:true () in
+  let (_ : Campaign.outcome) = Campaign.run ~obs:recorder spec in
+  Recorder.entries recorder
+
+let folded_sample () = Flame.folded (Critpath.of_entries (record 3))
+
+let diff_sample () = Rundiff.to_text (Rundiff.diff ~a:(record 3) ~b:(record 4))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "critpath-schema FAIL: %s\n" msg)
+    fmt
+
+let seg_kind_names = List.map Critpath.seg_kind_to_string Critpath.all_seg_kinds
+
+let validate_folded text =
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+  in
+  if lines = [] then fail "folded sample is empty";
+  let prev = ref "" in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      (match String.rindex_opt line ' ' with
+      | None -> fail "folded line %d has no value: %S" lineno line
+      | Some j ->
+          let stack = String.sub line 0 j in
+          let value = String.sub line (j + 1) (String.length line - j - 1) in
+          (match int_of_string_opt value with
+          | Some v when v > 0 -> ()
+          | Some v -> fail "folded line %d: non-positive value %d" lineno v
+          | None -> fail "folded line %d: non-integer value %S" lineno value);
+          (match String.split_on_char ';' stack with
+          | [ _view; kind; _owner ] ->
+              if not (List.mem kind seg_kind_names) then
+                fail "folded line %d: unknown segment kind %S" lineno kind
+          | frames ->
+              fail "folded line %d: %d frames (expected view;kind;owner)"
+                lineno (List.length frames)));
+      if String.compare line !prev <= 0 then
+        fail "folded line %d not strictly sorted" lineno;
+      prev := line)
+    lines
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let validate_diff text =
+  if not (contains ~sub:"first causal divergence at event " text) then
+    fail "diff sample reports no divergence (seeds 3 and 4 must differ)";
+  if not (contains ~sub:"per-phase latency deltas" text) then
+    fail "diff sample is missing the per-phase table";
+  List.iter
+    (fun phase ->
+      if not (contains ~sub:("critpath." ^ phase) text) then
+        fail "diff sample is missing the %s phase row" phase)
+    seg_kind_names;
+  List.iter
+    (fun phase ->
+      if not (contains ~sub:phase text) then
+        fail "diff sample is missing the %s row" phase)
+    [ "install-latency"; "propose-wait"; "flush-ack-wait"; "stability-wait" ]
+
+let check folded_path diff_path =
+  let expected_folded = folded_sample () in
+  let actual_folded = read_file folded_path in
+  if not (String.equal actual_folded expected_folded) then
+    fail "%s is out of date with the folded-stack format — regenerate with \
+          --write"
+      folded_path;
+  validate_folded actual_folded;
+  let expected_diff = diff_sample () in
+  let actual_diff = read_file diff_path in
+  if not (String.equal actual_diff expected_diff) then
+    fail "%s is out of date with the diff-runs rendering — regenerate with \
+          --write"
+      diff_path;
+  validate_diff actual_diff;
+  if !failures = 0 then print_endline "critpath-schema OK" else exit 1
+
+let write folded_path diff_path =
+  let put path text =
+    let oc = open_out_bin path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  in
+  put folded_path (folded_sample ());
+  put diff_path (diff_sample ())
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--write"; folded; diff ] -> write folded diff
+  | [ _; folded; diff ] -> check folded diff
+  | _ ->
+      prerr_endline
+        "usage: critpath_schema_check [--write] <sample.folded> \
+         <sample.diff.txt>";
+      exit 2

@@ -89,7 +89,10 @@ let test_hdr_create_validation () =
 let run_campaign ~seed ~series () =
   let recorder = Recorder.create ~level:Recorder.Protocol () in
   (match series with
-  | Some s -> Recorder.set_sink recorder (Some (Series.observe s))
+  | Some s ->
+      ignore
+        (Recorder.add_sink recorder (Series.observe s)
+          : Recorder.sink_handle)
   | None -> ());
   let spec = Campaign.generate ~seed ~nodes:4 ~quick:true () in
   let (_ : Campaign.outcome) = Campaign.run ~obs:recorder spec in
